@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the functional crypto primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tnpu_crypto::aes::Aes128;
+use tnpu_crypto::ctr::CtrMode;
+use tnpu_crypto::hmac::hmac_sha256;
+use tnpu_crypto::mac::BlockMac;
+use tnpu_crypto::sha256::sha256;
+use tnpu_crypto::xts::XtsMode;
+use tnpu_crypto::Key128;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+
+    let aes = Aes128::new(Key128::derive(b"bench"));
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(&block);
+        });
+    });
+
+    let xts = XtsMode::from_master(Key128::derive(b"bench"));
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("xts_64b_block", |b| {
+        let mut block = [0u8; 64];
+        b.iter(|| {
+            xts.encrypt_block(7, &mut block);
+            std::hint::black_box(&block);
+        });
+    });
+
+    let ctr = CtrMode::new(Key128::derive(b"bench"));
+    group.bench_function("ctr_64b_block", |b| {
+        let mut block = [0u8; 64];
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            ctr.apply(0x1000, counter, &mut block);
+            std::hint::black_box(&block);
+        });
+    });
+
+    let mac = BlockMac::new(Key128::derive(b"bench"));
+    group.bench_function("block_mac_tag", |b| {
+        let block = [0x5au8; 64];
+        b.iter(|| std::hint::black_box(mac.tag(0x1000, 3, &block)));
+    });
+
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4k", |b| {
+        let data = vec![0xabu8; 4096];
+        b.iter(|| std::hint::black_box(sha256(&data)));
+    });
+    group.bench_function("hmac_sha256_4k", |b| {
+        let data = vec![0xabu8; 4096];
+        b.iter(|| std::hint::black_box(hmac_sha256(b"key", &data)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the protection-engine cost models: the cache
+//! model and block-stream costs per scheme (streaming vs scattered).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
+use tnpu_sim::cache::{AccessKind, Cache, CacheConfig};
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::Addr;
+
+fn bench_cache_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache-model");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("streaming_accesses", |b| {
+        let mut cache = Cache::new(CacheConfig::new("bench", 4096, 8, 64));
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                addr += 64;
+                std::hint::black_box(cache.access(Addr(addr), AccessKind::Read));
+            }
+        });
+    });
+    group.bench_function("random_accesses", |b| {
+        let mut cache = Cache::new(CacheConfig::new("bench", 4096, 8, 64));
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            for _ in 0..1024 {
+                let addr = rng.next_below(1 << 20) * 64;
+                std::hint::black_box(cache.access(Addr(addr), AccessKind::Write));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-block-stream");
+    group.throughput(Throughput::Elements(1024));
+    for scheme in [
+        SchemeKind::Unsecure,
+        SchemeKind::TreeBased,
+        SchemeKind::Treeless,
+        SchemeKind::EncryptOnly,
+    ] {
+        group.bench_function(format!("stream/{scheme}"), |b| {
+            let mut engine = build_engine(scheme, &ProtectionConfig::paper_default());
+            let mut addr = 0u64;
+            b.iter(|| {
+                for _ in 0..1024 {
+                    addr += 64;
+                    std::hint::black_box(engine.read_block(Addr(addr % (1 << 30)), 1));
+                }
+            });
+        });
+        group.bench_function(format!("scattered/{scheme}"), |b| {
+            let mut engine = build_engine(scheme, &ProtectionConfig::paper_default());
+            let mut rng = SplitMix64::new(7);
+            b.iter(|| {
+                for _ in 0..1024 {
+                    let addr = rng.next_below(1 << 24) * 64;
+                    std::hint::black_box(engine.read_block(Addr(addr), 1));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_model, bench_engines);
+criterion_main!(benches);

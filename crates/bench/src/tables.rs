@@ -1,0 +1,351 @@
+//! Rendering of each figure/table in the paper's row/series layout.
+
+use crate::experiments::{self, Sweep};
+use tnpu_core::hwcost::HwCost;
+use tnpu_memprot::SchemeKind;
+use tnpu_models::registry;
+use tnpu_npu::NpuConfig;
+
+fn geomean_free_mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Table II: the two NPU configurations.
+#[must_use]
+pub fn table2() -> String {
+    let mut out = String::from("Table II - simulation environments\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!(
+            "{:6}  PEs {:2}x{:2}  bandwidth {:.0} B/cyc  SPM {:4} KB  DRAM {} cyc\n",
+            cfg.name,
+            cfg.rows,
+            cfg.cols,
+            cfg.bandwidth.as_f64(),
+            cfg.spm_bytes >> 10,
+            cfg.dram.latency.0,
+        );
+    }
+    out
+}
+
+/// Table III: models and computed memory footprints.
+#[must_use]
+pub fn table3(models: &[&str]) -> String {
+    let mut out = String::from("Table III - benchmark models (computed footprints)\n");
+    for &name in models {
+        let m = registry::model(name).expect("registered model");
+        out += &format!(
+            "{:5} {:28} {:7.1} MB   {:4} layers  {:6.2} GMACs\n",
+            m.name,
+            m.full_name,
+            m.footprint_bytes() as f64 / (1 << 20) as f64,
+            m.layers.len(),
+            m.total_macs() as f64 / 1e9,
+        );
+    }
+    out
+}
+
+/// Figures 4 & 14: normalized execution times (Fig. 4 is the baseline
+/// column of Fig. 14).
+#[must_use]
+pub fn fig14(sweep: &Sweep, models: &[&str]) -> String {
+    let mut out =
+        String::from("Fig. 14 - execution time normalized to unsecure (baseline | tnpu)\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!("-- {} NPU --\n", cfg.name);
+        let mut base = Vec::new();
+        let mut tnpu = Vec::new();
+        for &model in models {
+            let b = sweep.normalized(model, &cfg, SchemeKind::TreeBased, 1);
+            let t = sweep.normalized(model, &cfg, SchemeKind::Treeless, 1);
+            base.push(b);
+            tnpu.push(t);
+            out += &format!("{model:5}  baseline {b:5.3}   tnpu {t:5.3}\n");
+        }
+        out += &format!(
+            "avg    baseline {:5.3}   tnpu {:5.3}   (paper small: 1.211/1.090, large: 1.173/1.086)\n",
+            geomean_free_mean(&base),
+            geomean_free_mean(&tnpu),
+        );
+    }
+    out
+}
+
+/// Figure 5: counter-cache miss rates of the baseline (plus the other
+/// metadata caches, which the paper discusses but does not plot).
+#[must_use]
+pub fn fig5(sweep: &Sweep, models: &[&str]) -> String {
+    let mut out =
+        String::from("Fig. 5 - baseline metadata-cache miss rates (counter | hash | mac)\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!("-- {} NPU --\n", cfg.name);
+        for &model in models {
+            let run = sweep.get(model, &cfg, SchemeKind::TreeBased, 1);
+            out += &format!(
+                "{model:5}  ctr {:6.2} %   hash {:6.2} %   mac {:6.2} %\n",
+                run.engine.counter_cache.miss_rate() * 100.0,
+                run.engine.hash_cache.miss_rate() * 100.0,
+                run.engine.mac_cache.miss_rate() * 100.0,
+            );
+        }
+    }
+    out
+}
+
+/// Figure 15: normalized total DRAM traffic.
+#[must_use]
+pub fn fig15(sweep: &Sweep, models: &[&str]) -> String {
+    let mut out = String::from("Fig. 15 - DRAM traffic normalized to unsecure (baseline | tnpu)\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!("-- {} NPU --\n", cfg.name);
+        let mut base = Vec::new();
+        let mut tnpu = Vec::new();
+        for &model in models {
+            let b = sweep.traffic_normalized(model, &cfg, SchemeKind::TreeBased, 1);
+            let t = sweep.traffic_normalized(model, &cfg, SchemeKind::Treeless, 1);
+            base.push(b);
+            tnpu.push(t);
+            out += &format!("{model:5}  baseline {b:5.3}   tnpu {t:5.3}\n");
+        }
+        out += &format!(
+            "avg    baseline {:5.3}   tnpu {:5.3}   (paper small: +23.3% vs +12.3% extra)\n",
+            geomean_free_mean(&base),
+            geomean_free_mean(&tnpu),
+        );
+    }
+    out
+}
+
+/// Figure 16: scalability with 1–3 NPUs (normalized to the unsecure run of
+/// the same NPU count).
+#[must_use]
+pub fn fig16(sweep: &Sweep, models: &[&str], counts: &[usize]) -> String {
+    let mut out = String::from("Fig. 16 - execution time vs NPU count (baseline | tnpu)\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!("-- {} NPU --\n", cfg.name);
+        for &n in counts {
+            let mut base = Vec::new();
+            let mut tnpu = Vec::new();
+            for &model in models {
+                base.push(sweep.normalized(model, &cfg, SchemeKind::TreeBased, n));
+                tnpu.push(sweep.normalized(model, &cfg, SchemeKind::Treeless, n));
+            }
+            let b = geomean_free_mean(&base);
+            let t = geomean_free_mean(&tnpu);
+            out += &format!(
+                "{n} NPU(s): baseline {b:5.3}  tnpu {t:5.3}  improvement {:4.1} %\n",
+                (b - t) / b * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Figure 17: end-to-end execution times.
+#[must_use]
+pub fn fig17(models: &[&str]) -> String {
+    let data = experiments::fig17_sweep(models);
+    let mut out = String::from("Fig. 17 - end-to-end time normalized to unsecure (baseline | tnpu)\n");
+    for cfg in NpuConfig::paper_configs() {
+        out += &format!("-- {} NPU --\n", cfg.name);
+        let mut base = Vec::new();
+        let mut tnpu = Vec::new();
+        for &model in models {
+            let find = |scheme: SchemeKind| {
+                data.iter()
+                    .find(|(k, _)| k.model == model && k.config == cfg.name && k.scheme == scheme.label())
+                    .map(|(_, r)| r)
+                    .expect("swept")
+            };
+            let u = find(SchemeKind::Unsecure);
+            let b = find(SchemeKind::TreeBased).normalized_to(u);
+            let t = find(SchemeKind::Treeless).normalized_to(u);
+            base.push(b);
+            tnpu.push(t);
+            out += &format!("{model:5}  baseline {b:5.3}   tnpu {t:5.3}\n");
+        }
+        out += &format!(
+            "avg    baseline {:5.3}   tnpu {:5.3}   (paper small: 1.141/1.064, large: 1.126/1.056)\n",
+            geomean_free_mean(&base),
+            geomean_free_mean(&tnpu),
+        );
+    }
+    out
+}
+
+/// §IV-D: version-table storage.
+#[must_use]
+pub fn vtable(models: &[&str]) -> String {
+    let mut out = String::from("Version-table storage (steady | peak)\n");
+    let rows = experiments::vtable_storage(models);
+    let mut peaks = Vec::new();
+    for (name, steady, peak) in &rows {
+        peaks.push(*peak as f64);
+        out += &format!("{name:5}  {steady:6} B  peak {peak:6} B\n");
+    }
+    out += &format!(
+        "avg peak {:.2} KB (paper: avg 1.3 KB, max 7.5 KB)\n",
+        peaks.iter().sum::<f64>() / peaks.len() as f64 / 1024.0
+    );
+    out
+}
+
+/// Machine-readable export of the single-NPU sweep (for plotting): one row
+/// per (model, config, scheme) with normalized time, normalized traffic and
+/// the baseline counter-cache miss rate.
+#[must_use]
+pub fn csv(sweep: &Sweep, models: &[&str]) -> String {
+    let mut out = String::from("model,config,scheme,norm_time,norm_traffic,counter_miss_rate
+");
+    for cfg in NpuConfig::paper_configs() {
+        for &model in models {
+            for scheme in [SchemeKind::Unsecure, SchemeKind::TreeBased, SchemeKind::Treeless] {
+                let run = sweep.get(model, &cfg, scheme, 1);
+                out += &format!(
+                    "{model},{},{},{:.4},{:.4},{:.4}
+",
+                    cfg.name,
+                    scheme.label(),
+                    sweep.normalized(model, &cfg, scheme, 1),
+                    sweep.traffic_normalized(model, &cfg, scheme, 1),
+                    run.engine.counter_cache.miss_rate(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// §V-E: hardware overhead.
+#[must_use]
+pub fn hwcost() -> String {
+    let mut out = String::from("Hardware overhead (SS V-E)\n");
+    for cost in [HwCost::tnpu(), HwCost::tree_baseline()] {
+        out += &format!(
+            "{:14}  {} AES engines, {:5.1} KB SRAM -> {:.5} mm^2 ({:.3} % of Exynos 990), {:5.2} mW\n",
+            cost.name,
+            cost.aes_engines,
+            cost.sram_kb(),
+            cost.area_mm2(),
+            cost.pct_of_exynos(),
+            cost.power_mw(),
+        );
+    }
+    out += "paper: 0.03632 mm^2, 0.035 % of Exynos 990, 17.73 mW\n";
+    out
+}
+
+/// Self-check: verify the headline paper-shape invariants on a sweep and
+/// return the list of violations (empty = reproduction holds). Used by the
+/// `experiments -- check` CI gate.
+#[must_use]
+pub fn check(sweep: &Sweep, models: &[&str]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for cfg in NpuConfig::paper_configs() {
+        let mut base_sum = 0.0;
+        let mut tnpu_sum = 0.0;
+        for &model in models {
+            let tree = sweep.normalized(model, &cfg, SchemeKind::TreeBased, 1);
+            let tnpu = sweep.normalized(model, &cfg, SchemeKind::Treeless, 1);
+            base_sum += tree;
+            tnpu_sum += tnpu;
+            if tnpu < 1.0 - 1e-9 {
+                violations.push(format!("{model}/{}: tnpu below unsecure ({tnpu:.3})", cfg.name));
+            }
+            if tree < tnpu - 1e-9 {
+                violations.push(format!(
+                    "{model}/{}: baseline ({tree:.3}) below tnpu ({tnpu:.3})",
+                    cfg.name
+                ));
+            }
+            let t_tree = sweep.traffic_normalized(model, &cfg, SchemeKind::TreeBased, 1);
+            let t_tnpu = sweep.traffic_normalized(model, &cfg, SchemeKind::Treeless, 1);
+            if t_tree < t_tnpu - 1e-9 {
+                violations.push(format!(
+                    "{model}/{}: baseline traffic ({t_tree:.3}) below tnpu ({t_tnpu:.3})",
+                    cfg.name
+                ));
+            }
+        }
+        let n = models.len() as f64;
+        let (base_avg, tnpu_avg) = (base_sum / n, tnpu_sum / n);
+        if !(1.0..1.6).contains(&base_avg) {
+            violations.push(format!("{}: baseline average {base_avg:.3} out of band", cfg.name));
+        }
+        if tnpu_avg > base_avg {
+            violations.push(format!(
+                "{}: tnpu average {tnpu_avg:.3} above baseline {base_avg:.3}",
+                cfg.name
+            ));
+        }
+    }
+    // sent must be the baseline's worst case when it is in the sweep.
+    if models.contains(&"sent") {
+        let small = NpuConfig::small_npu();
+        let sent = sweep.normalized("sent", &small, SchemeKind::TreeBased, 1);
+        for &model in models {
+            if model == "sent" {
+                continue;
+            }
+            let other = sweep.normalized(model, &small, SchemeKind::TreeBased, 1);
+            if other > sent {
+                violations.push(format!(
+                    "{model} baseline ({other:.3}) exceeds the sent stress case ({sent:.3})"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        let t2 = table2();
+        assert!(t2.contains("small") && t2.contains("large"));
+        let t3 = table3(&["res", "tf"]);
+        assert!(t3.contains("Resnet50") && t3.contains("Transformer"));
+        let hw = hwcost();
+        assert!(hw.contains("mm^2"));
+        let vt = vtable(&["df"]);
+        assert!(vt.contains("peak"));
+    }
+
+    #[test]
+    fn check_passes_on_quick_sweep() {
+        let models = experiments::model_list(true);
+        let sweep = experiments::sweep(&models, &[1]);
+        let violations = check(&sweep, &models);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn csv_export_has_all_rows() {
+        let models = ["df"];
+        let sweep = experiments::sweep(&models, &[1]);
+        let rendered = csv(&sweep, &models);
+        // Header + 2 configs x 1 model x 3 schemes.
+        assert_eq!(rendered.lines().count(), 1 + 6);
+        assert!(rendered.starts_with("model,config,scheme"));
+    }
+
+    #[test]
+    fn figure_renderers_work_on_a_small_sweep() {
+        let models = ["df"];
+        let sweep = experiments::sweep(&models, &[1]);
+        for rendered in [
+            fig14(&sweep, &models),
+            fig5(&sweep, &models),
+            fig15(&sweep, &models),
+        ] {
+            assert!(rendered.contains("df"), "{rendered}");
+            assert!(rendered.contains("small"));
+        }
+        let f16 = fig16(&sweep, &models, &[1]);
+        assert!(f16.contains("1 NPU(s)"), "{f16}");
+    }
+}

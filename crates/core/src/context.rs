@@ -1,0 +1,308 @@
+//! The full secure-NPU-context lifecycle (paper §IV-A/B/E), in one place.
+//!
+//! A [`SecureNpuSession`] owns the platform state — EEPCM, driver enclave,
+//! attestation authority — and hands out per-application contexts: the CPU
+//! enclave is created and measured, its `NELRANGE` tensor pages are added
+//! as tree-less protected pages, the driver enclave assigns an NPU, and the
+//! IOMMU validates every translation against the EEPCM. Attack hooks expose
+//! the OS-controlled page table so tests can mount remap attacks against a
+//! live context.
+
+use tnpu_crypto::Key128;
+use tnpu_tee::attest::{AttestationAuthority, Report};
+use tnpu_tee::driver::{DriverError, NpuCommand, NpuDriverEnclave};
+use tnpu_tee::enclave::{EnclaveError, EnclaveManager, RegionKind};
+use tnpu_tee::epcm::Eepcm;
+use tnpu_tee::mmu::Mmu;
+use tnpu_tee::pagetable::PageTable;
+use tnpu_tee::{Access, AccessError, EnclaveId, Perms, Ppn, Vpn, PAGE_SIZE};
+
+/// Virtual base of the NPU context's protected range.
+pub const NELRANGE_BASE: u64 = 0x2000_0000;
+
+/// A live secure NPU context.
+#[derive(Debug)]
+pub struct NpuContext {
+    /// The owning CPU enclave.
+    pub enclave: EnclaveId,
+    /// The assigned NPU.
+    pub npu: usize,
+    /// The enclave's measurement at initialization.
+    pub measurement: [u8; 32],
+    iommu: Mmu,
+    page_table: PageTable,
+}
+
+impl NpuContext {
+    /// The context's OS-controlled page table — the attack hook (the OS
+    /// may rewrite it at any time).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Flush the IOMMU TLB (context switch / shoot-down).
+    pub fn flush_tlb(&mut self) {
+        self.iommu.flush_tlb();
+    }
+}
+
+/// Errors of the session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Enclave lifecycle failure.
+    Enclave(EnclaveError),
+    /// Driver protocol failure.
+    Driver(DriverError),
+    /// Access-control violation.
+    Access(AccessError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Enclave(e) => write!(f, "enclave: {e}"),
+            SessionError::Driver(e) => write!(f, "driver: {e}"),
+            SessionError::Access(e) => write!(f, "access: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<EnclaveError> for SessionError {
+    fn from(e: EnclaveError) -> Self {
+        SessionError::Enclave(e)
+    }
+}
+impl From<DriverError> for SessionError {
+    fn from(e: DriverError) -> Self {
+        SessionError::Driver(e)
+    }
+}
+impl From<AccessError> for SessionError {
+    fn from(e: AccessError) -> Self {
+        SessionError::Access(e)
+    }
+}
+
+/// Platform state for secure NPU execution.
+pub struct SecureNpuSession {
+    manager: EnclaveManager,
+    eepcm: Eepcm,
+    driver: NpuDriverEnclave,
+    authority: AttestationAuthority,
+    next_ppn: u64,
+}
+
+impl std::fmt::Debug for SecureNpuSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureNpuSession")
+            .field("protected_pages", &self.eepcm.protected_pages())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureNpuSession {
+    /// Boot the platform: `npu_count` NPUs behind a driver enclave, an
+    /// attestation authority fused with `device_key`.
+    #[must_use]
+    pub fn new(device_key: Key128, npu_count: usize) -> Self {
+        let mut manager = EnclaveManager::new();
+        let driver_id = manager.create();
+        SecureNpuSession {
+            manager,
+            eepcm: Eepcm::new(),
+            driver: NpuDriverEnclave::new(driver_id, npu_count),
+            authority: AttestationAuthority::new(device_key),
+            next_ppn: 0x1000,
+        }
+    }
+
+    fn fresh_ppn(&mut self) -> Ppn {
+        let p = Ppn(self.next_ppn);
+        self.next_ppn += 1;
+        p
+    }
+
+    /// Create a measured enclave running `binary`, give it `tensor_pages`
+    /// tree-less pages at `NELRANGE`, and assign it an NPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] if pages cannot be donated or no NPU is free.
+    pub fn create_context(
+        &mut self,
+        binary: &[u8],
+        tensor_pages: usize,
+    ) -> Result<NpuContext, SessionError> {
+        let enclave = self.manager.create();
+        let mut page_table = PageTable::new();
+        // Code page(s) in the fully-protected region.
+        let code_ppn = self.fresh_ppn();
+        self.manager.add_page(
+            &mut self.eepcm,
+            &mut page_table,
+            enclave,
+            Vpn(0x100),
+            code_ppn,
+            RegionKind::FullyProtected,
+            Perms::RX,
+            binary,
+        )?;
+        // Tensor pages in the tree-less region at NELRANGE.
+        let first_vpn = NELRANGE_BASE / PAGE_SIZE;
+        for i in 0..tensor_pages as u64 {
+            let ppn = self.fresh_ppn();
+            self.manager.add_page(
+                &mut self.eepcm,
+                &mut page_table,
+                enclave,
+                Vpn(first_vpn + i),
+                ppn,
+                RegionKind::Treeless,
+                Perms::RW,
+                b"",
+            )?;
+        }
+        self.manager.set_nelrange(
+            enclave,
+            NELRANGE_BASE..NELRANGE_BASE + tensor_pages as u64 * PAGE_SIZE,
+        )?;
+        let measurement = self.manager.initialize(enclave)?;
+        let npu = self.driver.acquire(enclave)?;
+        Ok(NpuContext {
+            enclave,
+            npu,
+            measurement,
+            iommu: Mmu::new(enclave, 64),
+            page_table,
+        })
+    }
+
+    /// Produce an attestation report for a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's enclave vanished (session misuse).
+    #[must_use]
+    pub fn attest(&self, ctx: &NpuContext, nonce: [u8; 16]) -> Report {
+        let enclave = self.manager.get(ctx.enclave).expect("live context");
+        self.authority.report(enclave, nonce)
+    }
+
+    /// Verify a report against an expected measurement.
+    #[must_use]
+    pub fn verify(&self, report: &Report, expected: &[u8; 32], nonce: &[u8; 16]) -> bool {
+        self.authority.verify(report, expected, nonce)
+    }
+
+    /// Translate an NPU-side access through the context's IOMMU with
+    /// EEPCM validation (Fig. 11).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Access`] on any validation failure.
+    pub fn iommu_translate(
+        &mut self,
+        ctx: &mut NpuContext,
+        vpn: Vpn,
+        access: Access,
+    ) -> Result<Ppn, SessionError> {
+        Ok(ctx.iommu.translate(&ctx.page_table, &self.eepcm, vpn, access)?)
+    }
+
+    /// Issue an NPU command through the driver enclave (owner-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Driver`] if the caller does not own the NPU.
+    pub fn issue(
+        &mut self,
+        caller: EnclaveId,
+        ctx: &NpuContext,
+        command: NpuCommand,
+    ) -> Result<(), SessionError> {
+        Ok(self.driver.issue(caller, ctx.npu, command)?)
+    }
+
+    /// Tear down a context, releasing its NPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Driver`] if the context does not own its NPU.
+    pub fn release(&mut self, ctx: NpuContext) -> Result<(), SessionError> {
+        Ok(self.driver.release(ctx.enclave, ctx.npu)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SecureNpuSession {
+        SecureNpuSession::new(Key128::derive(b"device"), 2)
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut s = session();
+        let mut ctx = s.create_context(b"ml-app", 4).expect("context");
+        // Attest.
+        let nonce = [9u8; 16];
+        let report = s.attest(&ctx, nonce);
+        assert!(s.verify(&report, &ctx.measurement, &nonce));
+        // Legitimate tensor access through the IOMMU.
+        let vpn = Vpn(NELRANGE_BASE / PAGE_SIZE);
+        s.iommu_translate(&mut ctx, vpn, Access::Write).expect("valid");
+        // Command the NPU.
+        s.issue(ctx.enclave, &ctx, NpuCommand::Mvin { version: 1 })
+            .expect("owner");
+        s.release(ctx).expect("owner releases");
+    }
+
+    #[test]
+    fn two_contexts_are_isolated() {
+        let mut s = session();
+        let ctx_a = s.create_context(b"app-a", 2).expect("context a");
+        let mut ctx_b = s.create_context(b"app-b", 2).expect("context b");
+        assert_ne!(ctx_a.npu, ctx_b.npu);
+        assert_ne!(ctx_a.measurement, ctx_b.measurement);
+        // B's enclave cannot command A's NPU.
+        assert!(matches!(
+            s.issue(ctx_b.enclave, &ctx_a, NpuCommand::Compute),
+            Err(SessionError::Driver(DriverError::NotOwner { .. }))
+        ));
+        // The OS remaps B's tensor page to A's frame: B's IOMMU rejects it.
+        let vpn = Vpn(NELRANGE_BASE / PAGE_SIZE);
+        let a_frame = Ppn(0x1001); // A's first tensor page frame
+        ctx_b.page_table_mut().map(vpn, a_frame);
+        ctx_b.flush_tlb();
+        assert!(matches!(
+            s.iommu_translate(&mut ctx_b, vpn, Access::Read),
+            Err(SessionError::Access(AccessError::WrongOwner { .. }))
+        ));
+    }
+
+    #[test]
+    fn npu_exhaustion_and_reuse() {
+        let mut s = session();
+        let a = s.create_context(b"a", 1).expect("a");
+        let _b = s.create_context(b"b", 1).expect("b");
+        assert!(matches!(
+            s.create_context(b"c", 1),
+            Err(SessionError::Driver(DriverError::NoFreeNpu))
+        ));
+        s.release(a).expect("release");
+        let _c = s.create_context(b"c", 1).expect("npu recycled");
+    }
+
+    #[test]
+    fn attestation_distinguishes_binaries() {
+        let mut s = session();
+        let genuine = s.create_context(b"genuine-v1", 1).expect("context");
+        let trojan = s.create_context(b"trojan-v1", 1).expect("context");
+        let nonce = [1u8; 16];
+        let report = s.attest(&trojan, nonce);
+        assert!(!s.verify(&report, &genuine.measurement, &nonce));
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's primary contribution, as a library.
+//!
+//! TNPU replaces the counter tree over NPU memory with *semantic-aware,
+//! software-managed version numbers*: the CPU-side enclave software knows
+//! the static data flow of the DNN, so it can assign one version number
+//! per tensor (or per tile while a tensor is being produced), pass it with
+//! every `mvin`/`mvout`, and let the per-block MACs bind it. This crate
+//! implements that software stack and the system-level models built on it:
+//!
+//! * [`version`] — the version table with expand / bump / merge
+//!   (paper §III-C, §IV-D, Figs. 9 & 13).
+//! * [`cpu_access`] — the `ts_read_*`/`ts_write_*` uncacheable CPU
+//!   instructions with their 64 B block buffers (§IV-C).
+//! * [`instr`] — the compiler pass of Fig. 13 (a): lowering a tiled plan
+//!   into the version-annotated secure instruction stream, plus a replay
+//!   checker for its consistency.
+//! * [`secure_runner`] — functional secure inference: real bytes through
+//!   real crypto with version management end-to-end.
+//! * [`endtoend`] — the end-to-end latency model of Fig. 17.
+//! * [`hwcost`] — the hardware-overhead accounting of §V-E.
+//! * [`context`] — the secure-context lifecycle of §IV-E: enclave
+//!   creation, NELRANGE pages, driver assignment, attestation, IOMMU.
+//! * [`sensor`] — the sensor-to-enclave secure ingestion of Fig. 3
+//!   (encrypted, authenticated, replay-protected frames).
+//! * [`system`] — the [`TnpuSystem`] facade tying everything together.
+
+pub mod context;
+pub mod cpu_access;
+pub mod endtoend;
+pub mod instr;
+pub mod hwcost;
+pub mod secure_runner;
+pub mod sensor;
+pub mod system;
+pub mod version;
+
+pub use system::{SystemError, SystemReport, TnpuSystem};
+pub use version::VersionTable;
+
+/// The protection scheme selector, re-exported under the paper's
+/// terminology ([`Scheme::Treeless`] is TNPU, [`Scheme::TreeBased`] the
+/// prior-work baseline).
+pub use tnpu_memprot::SchemeKind as Scheme;

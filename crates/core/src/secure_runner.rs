@@ -1,0 +1,407 @@
+//! Functional secure execution of a model (real bytes, real crypto).
+//!
+//! Drives a whole inference through the tree-less protection exactly as
+//! the paper's software would: the CPU enclave initializes tensors through
+//! the `ts_*` path, every `mvin` verifies blocks against the expected
+//! version, every layer expands its output tensor into tile versions,
+//! bumps them per `mvout`, and merges them when the layer completes
+//! (Figs. 9/13). Tests tamper with the untrusted DRAM between layers and
+//! watch the next layer's `mvin` fail.
+//!
+//! Layer arithmetic is a deterministic byte-mixing function (a digest of
+//! the verified inputs seeds the output bytes) — enough to carry data-flow
+//! dependencies end-to-end without simulating FP math. Use small models
+//! for functional runs: every byte really is encrypted and MAC'd.
+
+use crate::cpu_access::CpuTensorAccess;
+use crate::version::{VersionError, VersionTable};
+use tnpu_crypto::sha256::Sha256;
+use tnpu_crypto::Key128;
+use tnpu_memprot::functional::{IntegrityError, TreelessMemory};
+use tnpu_models::{LayerKind, Model, ELEM_BYTES};
+use tnpu_npu::alloc::ModelLayout;
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::{Addr, BLOCK_SIZE};
+
+/// Tile granularity (bytes) for output production (per-tile version bump).
+pub const TILE_BYTES: u64 = 16 << 10;
+
+/// Why a secure run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A block failed MAC verification on `mvin`.
+    Integrity(IntegrityError),
+    /// Version management was misused (indicates a runner bug).
+    Version(VersionError),
+    /// The run already completed.
+    Finished,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Integrity(e) => write!(f, "integrity violation: {e}"),
+            RunError::Version(e) => write!(f, "version management error: {e}"),
+            RunError::Finished => write!(f, "inference already finished"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<IntegrityError> for RunError {
+    fn from(e: IntegrityError) -> Self {
+        RunError::Integrity(e)
+    }
+}
+
+impl From<VersionError> for RunError {
+    fn from(e: VersionError) -> Self {
+        RunError::Version(e)
+    }
+}
+
+/// Per-layer execution record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Blocks verified on the way in.
+    pub blocks_read: u64,
+    /// Blocks MAC'd on the way out.
+    pub blocks_written: u64,
+    /// Output tiles (version-bump granularity).
+    pub tiles: u32,
+}
+
+/// The functional secure runner for one NPU context.
+#[derive(Debug)]
+pub struct SecureRunner {
+    model: Model,
+    layout: ModelLayout,
+    table: VersionTable,
+    mem: TreelessMemory,
+    cpu: CpuTensorAccess,
+    next_layer: usize,
+    seed: u64,
+}
+
+impl SecureRunner {
+    /// Set up the context: allocate tensors, register them in the version
+    /// table, and initialize the input and every weight tensor through the
+    /// CPU `ts_write` path with deterministic synthetic contents.
+    #[must_use]
+    pub fn new(model: &Model, master_key: Key128, seed: u64) -> Self {
+        let layout = ModelLayout::allocate(model, Addr(0));
+        let mut table = VersionTable::new();
+        let mut mem = TreelessMemory::new(master_key);
+        let mut cpu = CpuTensorAccess::new();
+
+        table.register(layout.input.id);
+        let input_version = table.bump(layout.input.id).expect("registered");
+        let input_bytes = synth_bytes(seed, layout.input.id, layout.input.bytes);
+        cpu.write_tensor(&mut mem, layout.input.addr, input_version, &input_bytes);
+
+        for li in 0..model.layers.len() {
+            if let Some(w) = layout.weights[li] {
+                if model.layers[li].weights_shared_with.is_some() {
+                    continue; // the owner already initialized it
+                }
+                table.register(w.id);
+                let v = table.bump(w.id).expect("registered");
+                let bytes = synth_bytes(seed, w.id, w.bytes);
+                cpu.write_tensor(&mut mem, w.addr, v, &bytes);
+            }
+            table.register(layout.outputs[li].id);
+        }
+        SecureRunner {
+            model: model.clone(),
+            layout,
+            table,
+            mem,
+            cpu,
+            next_layer: 0,
+            seed,
+        }
+    }
+
+    /// The version table (inspection).
+    #[must_use]
+    pub fn version_table(&self) -> &VersionTable {
+        &self.table
+    }
+
+    /// The address map.
+    #[must_use]
+    pub fn layout(&self) -> &ModelLayout {
+        &self.layout
+    }
+
+    /// The untrusted protected memory — the attack hook for tests.
+    pub fn memory_mut(&mut self) -> &mut TreelessMemory {
+        &mut self.mem
+    }
+
+    /// Whether every layer has executed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.next_layer >= self.model.layers.len()
+    }
+
+    /// Verify + read one whole tensor (every block, under its current
+    /// version), feeding the digest.
+    fn ingest_tensor(
+        &self,
+        digest: &mut Sha256,
+        info: tnpu_npu::alloc::TensorInfo,
+    ) -> Result<u64, RunError> {
+        let version = self.table.version(info.id, 0)?;
+        let blocks = info.bytes.div_ceil(BLOCK_SIZE as u64);
+        for b in 0..blocks {
+            let data = self
+                .mem
+                .read_block(info.addr.offset(b * BLOCK_SIZE as u64), version)?;
+            digest.update(&data);
+        }
+        Ok(blocks)
+    }
+
+    /// Gather `seq` rows from an embedding table (only the touched blocks
+    /// are verified — the fine-grained access of §III-B).
+    fn ingest_gathers(
+        &self,
+        digest: &mut Sha256,
+        table_info: tnpu_npu::alloc::TensorInfo,
+        vocab: u64,
+        dim: u64,
+        seq: u64,
+    ) -> Result<u64, RunError> {
+        let version = self.table.version(table_info.id, 0)?;
+        let row_bytes = dim * ELEM_BYTES;
+        let mut rng = SplitMix64::new(self.seed ^ table_info.id as u64);
+        let mut blocks = 0;
+        for _ in 0..seq {
+            let row = rng.next_below(vocab);
+            let start = table_info.addr.offset(row * row_bytes);
+            for b in tnpu_sim::blocks_covering(start, row_bytes) {
+                let data = self.mem.read_block(b.base(), version)?;
+                digest.update(&data);
+                blocks += 1;
+            }
+        }
+        Ok(blocks)
+    }
+
+    /// Execute the next layer; returns its trace.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Integrity`] when a verified read fails (tampering /
+    /// replay detected); [`RunError::Finished`] when no layers remain.
+    pub fn step(&mut self) -> Result<LayerTrace, RunError> {
+        let li = self.next_layer;
+        let layer = self
+            .model
+            .layers
+            .get(li)
+            .ok_or(RunError::Finished)?
+            .clone();
+        let mut digest = Sha256::new();
+        digest.update(layer.name.as_bytes());
+        let mut blocks_read = 0;
+
+        // mvin phase: verify every input under its expected version.
+        match layer.kind {
+            LayerKind::Embedding { vocab, dim, seq } => {
+                let table = self.layout.weights[li].expect("embedding table");
+                blocks_read += self.ingest_gathers(&mut digest, table, vocab, dim, seq)?;
+            }
+            _ => {
+                for src in &layer.inputs {
+                    blocks_read += self.ingest_tensor(&mut digest, self.layout.source(*src))?;
+                }
+                if let Some(w) = self.layout.weights[li] {
+                    blocks_read += self.ingest_tensor(&mut digest, w)?;
+                }
+            }
+        }
+
+        // Compute + mvout phase: produce the output tile by tile, with
+        // per-tile version bumps, then merge.
+        let out = self.layout.outputs[li];
+        let state = digest.finalize();
+        let tiles = out.bytes.div_ceil(TILE_BYTES).max(1) as u32;
+        self.table.expand(out.id, tiles)?;
+        let mut blocks_written = 0;
+        for tile in 0..tiles {
+            let version = self.table.bump_tile(out.id, tile)?;
+            let tile_base = u64::from(tile) * TILE_BYTES;
+            let tile_len = TILE_BYTES.min(out.bytes - tile_base);
+            let mut rng = seeded_from(&state, tile);
+            let mut off = 0;
+            while off < tile_len {
+                let mut block = [0u8; BLOCK_SIZE];
+                for chunk in block.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+                }
+                self.mem
+                    .write_block(out.addr.offset(tile_base + off), version, block);
+                blocks_written += 1;
+                off += BLOCK_SIZE as u64;
+            }
+        }
+        self.table.merge(out.id)?;
+        self.next_layer += 1;
+        Ok(LayerTrace {
+            name: layer.name.clone(),
+            blocks_read,
+            blocks_written,
+            tiles,
+        })
+    }
+
+    /// Run all remaining layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`].
+    pub fn run(&mut self) -> Result<Vec<LayerTrace>, RunError> {
+        let mut traces = Vec::new();
+        while !self.is_finished() {
+            traces.push(self.step()?);
+        }
+        Ok(traces)
+    }
+
+    /// Read the final output back on the CPU side (post-processing,
+    /// Fig. 3), verifying it.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Integrity`] if the output fails verification.
+    pub fn read_output(&mut self) -> Result<Vec<u8>, RunError> {
+        let last = self.layout.outputs.last().expect("models have layers");
+        let version = self.table.version(last.id, 0)?;
+        self.cpu
+            .read_tensor(&self.mem, last.addr, version, last.bytes as usize)
+            .map_err(|e| match e {
+                crate::cpu_access::TsError::Integrity(err) => RunError::Integrity(err),
+                other => panic!("unexpected ts error: {other}"),
+            })
+    }
+}
+
+/// Deterministic synthetic tensor contents.
+fn synth_bytes(seed: u64, tensor: u32, len: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed.wrapping_add(u64::from(tensor) << 32));
+    let mut out = Vec::with_capacity(len as usize);
+    while (out.len() as u64) < len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out.truncate(len as usize);
+    out
+}
+
+fn seeded_from(state: &[u8; 32], tile: u32) -> SplitMix64 {
+    let mut seed = [0u8; 8];
+    seed.copy_from_slice(&state[..8]);
+    SplitMix64::new(u64::from_le_bytes(seed) ^ u64::from(tile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnpu_models::registry;
+
+    fn runner(name: &str) -> SecureRunner {
+        let model = registry::model(name).expect("registered");
+        SecureRunner::new(&model, Key128::derive(b"runner"), 7)
+    }
+
+    #[test]
+    fn deepface_runs_end_to_end() {
+        let mut r = runner("df");
+        let traces = r.run().expect("clean run verifies");
+        assert_eq!(traces.len(), 6);
+        assert!(traces.iter().all(|t| t.blocks_read > 0));
+        let out = r.read_output().expect("output verifies");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = runner("agz");
+        let mut b = runner("agz");
+        a.run().expect("ok");
+        b.run().expect("ok");
+        assert_eq!(a.read_output().expect("ok"), b.read_output().expect("ok"));
+    }
+
+    #[test]
+    fn different_inputs_change_output() {
+        let model = registry::model("agz").expect("registered");
+        let mut a = SecureRunner::new(&model, Key128::derive(b"k"), 1);
+        let mut b = SecureRunner::new(&model, Key128::derive(b"k"), 2);
+        a.run().expect("ok");
+        b.run().expect("ok");
+        assert_ne!(a.read_output().expect("ok"), b.read_output().expect("ok"));
+    }
+
+    #[test]
+    fn tampering_between_layers_detected() {
+        let mut r = runner("df");
+        r.step().expect("layer 0 clean");
+        // Physical attacker flips a bit in layer 0's output ciphertext.
+        let victim = r.layout().outputs[0].addr;
+        r.memory_mut()
+            .dram_mut()
+            .block_mut(victim)
+            .expect("written")[3] ^= 0x40;
+        match r.step() {
+            Err(RunError::Integrity(_)) => {}
+            other => panic!("tampering must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_between_layers_detected() {
+        // Snapshot a weight tensor block at its current (valid) state,
+        // let the victim overwrite it, then restore the stale state.
+        let model = registry::model("df").expect("registered");
+        let mut r = SecureRunner::new(&model, Key128::derive(b"k"), 1);
+        let weight = r.layout().weights[0].expect("conv has weights");
+        let snap = r.memory_mut().snapshot(weight.addr).expect("written");
+        // The enclave re-initializes the weights (version bumps to 2)...
+        // simulated by writing under a bumped version through the table.
+        {
+            let mem = r.memory_mut();
+            mem.write_block(weight.addr, 2, [9u8; 64]);
+        }
+        r.table.bump(weight.id).expect("bump to 2");
+        // ...attacker replays the old (valid-at-version-1) snapshot.
+        r.memory_mut().restore(weight.addr, snap);
+        match r.step() {
+            Err(RunError::Integrity(_)) => {}
+            other => panic!("replay must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_table_peaks_match_paper_scale() {
+        // §IV-D: version storage is KB-scale (avg 1.3 KB, max 7.5 KB).
+        let mut r = runner("df");
+        r.run().expect("ok");
+        let peak = r.version_table().peak_storage_bytes();
+        assert!(peak > 0);
+        assert!(peak < 64 << 10, "peak {peak} B should be KB-scale");
+    }
+
+    #[test]
+    fn embedding_model_verifies_gathers() {
+        let mut r = runner("ncf");
+        let traces = r.run().expect("clean run");
+        // The two embedding layers must read gathered blocks.
+        assert!(traces[0].blocks_read >= 512);
+        r.read_output().expect("output verifies");
+    }
+}

@@ -1,0 +1,255 @@
+//! The sensor-to-enclave leg of the end-to-end pipeline (paper Fig. 3,
+//! §III-A).
+//!
+//! "To securely collect data, sensors encrypt the data and securely
+//! transfer them to the CPU memory" — the paper cites Waspmote-class
+//! devices with an AES engine plus a MAC for integrity. This module models
+//! that link: a [`Sensor`] shares a session key with the enclave,
+//! encrypts each sample in counter mode with a monotonically increasing
+//! sequence number, and appends an HMAC over (ciphertext, sequence). The
+//! enclave-side [`SensorReceiver`] verifies, decrypts, and rejects
+//! replayed or reordered frames.
+
+use tnpu_crypto::ctr::CtrMode;
+use tnpu_crypto::hmac::HmacSha256;
+use tnpu_crypto::Key128;
+use tnpu_sim::BLOCK_SIZE;
+
+/// One encrypted, authenticated sensor frame on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorFrame {
+    /// Monotone sequence number (the anti-replay nonce).
+    pub sequence: u64,
+    /// Counter-mode ciphertext of the sample.
+    pub payload: Vec<u8>,
+    /// HMAC over (sequence, payload).
+    pub tag: [u8; 32],
+}
+
+/// Why a frame was rejected by the enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorError {
+    /// The MAC did not verify (tampered in transit).
+    BadTag,
+    /// The sequence number is not strictly newer than the last accepted
+    /// frame (replay or reordering).
+    StaleSequence {
+        /// Sequence carried by the frame.
+        got: u64,
+        /// Lowest acceptable sequence.
+        expected_above: u64,
+    },
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorError::BadTag => write!(f, "sensor frame failed authentication"),
+            SensorError::StaleSequence { got, expected_above } => {
+                write!(f, "stale sensor frame: seq {got}, need > {expected_above}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+fn frame_tag(mac_key: &Key128, sequence: u64, payload: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(&mac_key.0);
+    mac.update(&sequence.to_le_bytes());
+    mac.update(payload);
+    mac.finalize()
+}
+
+fn apply_stream(cipher: &CtrMode, sequence: u64, data: &mut [u8]) {
+    // Counter-mode over the frame: one 64 B pad block per chunk, keyed by
+    // (sequence, chunk index) so pads never repeat across frames.
+    for (i, chunk) in data.chunks_mut(BLOCK_SIZE).enumerate() {
+        let mut block = [0u8; BLOCK_SIZE];
+        block[..chunk.len()].copy_from_slice(chunk);
+        cipher.apply(i as u64, sequence, &mut block);
+        chunk.copy_from_slice(&block[..chunk.len()]);
+    }
+}
+
+/// The sensor device (Waspmote-class: AES engine + MAC).
+pub struct Sensor {
+    cipher: CtrMode,
+    mac_key: Key128,
+    next_sequence: u64,
+}
+
+impl std::fmt::Debug for Sensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sensor")
+            .field("next_sequence", &self.next_sequence)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sensor {
+    /// A sensor sharing `session_key` with the enclave.
+    #[must_use]
+    pub fn new(session_key: Key128) -> Self {
+        let mut mac_label = b"sensor-mac".to_vec();
+        mac_label.extend_from_slice(&session_key.0);
+        Sensor {
+            cipher: CtrMode::new(session_key),
+            mac_key: Key128::derive(&mac_label),
+            next_sequence: 1,
+        }
+    }
+
+    /// Encrypt and authenticate one sample.
+    pub fn capture(&mut self, sample: &[u8]) -> SensorFrame {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        let mut payload = sample.to_vec();
+        apply_stream(&self.cipher, sequence, &mut payload);
+        let tag = frame_tag(&self.mac_key, sequence, &payload);
+        SensorFrame {
+            sequence,
+            payload,
+            tag,
+        }
+    }
+}
+
+/// The enclave-side receiver: verifies, decrypts, enforces freshness.
+pub struct SensorReceiver {
+    cipher: CtrMode,
+    mac_key: Key128,
+    last_sequence: u64,
+}
+
+impl std::fmt::Debug for SensorReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorReceiver")
+            .field("last_sequence", &self.last_sequence)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SensorReceiver {
+    /// A receiver sharing `session_key` with the sensor.
+    #[must_use]
+    pub fn new(session_key: Key128) -> Self {
+        let mut mac_label = b"sensor-mac".to_vec();
+        mac_label.extend_from_slice(&session_key.0);
+        SensorReceiver {
+            cipher: CtrMode::new(session_key),
+            mac_key: Key128::derive(&mac_label),
+            last_sequence: 0,
+        }
+    }
+
+    /// Verify and decrypt a frame; the plaintext is ready to become the
+    /// model's input tensor (written onward through the `ts_write` path).
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::BadTag`] on tampering, [`SensorError::StaleSequence`]
+    /// on replay/reorder. Failed frames do not advance the freshness state.
+    pub fn receive(&mut self, frame: &SensorFrame) -> Result<Vec<u8>, SensorError> {
+        if frame_tag(&self.mac_key, frame.sequence, &frame.payload) != frame.tag {
+            return Err(SensorError::BadTag);
+        }
+        if frame.sequence <= self.last_sequence {
+            return Err(SensorError::StaleSequence {
+                got: frame.sequence,
+                expected_above: self.last_sequence,
+            });
+        }
+        self.last_sequence = frame.sequence;
+        let mut plaintext = frame.payload.clone();
+        apply_stream(&self.cipher, frame.sequence, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Sensor, SensorReceiver) {
+        let key = Key128::derive(b"sensor-session");
+        (Sensor::new(key), SensorReceiver::new(key))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut sensor, mut enclave) = pair();
+        let sample = b"camera-frame-0042".to_vec();
+        let frame = sensor.capture(&sample);
+        assert_ne!(frame.payload, sample, "wire data is ciphertext");
+        assert_eq!(enclave.receive(&frame).expect("verifies"), sample);
+    }
+
+    #[test]
+    fn stream_of_frames() {
+        let (mut sensor, mut enclave) = pair();
+        for i in 0..100u32 {
+            let sample = i.to_le_bytes().to_vec();
+            let frame = sensor.capture(&sample);
+            assert_eq!(enclave.receive(&frame).expect("verifies"), sample);
+        }
+    }
+
+    #[test]
+    fn tampered_frame_rejected() {
+        let (mut sensor, mut enclave) = pair();
+        let mut frame = sensor.capture(b"sample");
+        frame.payload[0] ^= 1;
+        assert_eq!(enclave.receive(&frame), Err(SensorError::BadTag));
+    }
+
+    #[test]
+    fn replayed_frame_rejected() {
+        let (mut sensor, mut enclave) = pair();
+        let frame = sensor.capture(b"sample");
+        enclave.receive(&frame).expect("first delivery verifies");
+        assert!(matches!(
+            enclave.receive(&frame),
+            Err(SensorError::StaleSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn reordered_frames_rejected() {
+        let (mut sensor, mut enclave) = pair();
+        let first = sensor.capture(b"one");
+        let second = sensor.capture(b"two");
+        enclave.receive(&second).expect("newest verifies");
+        assert!(matches!(
+            enclave.receive(&first),
+            Err(SensorError::StaleSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_frames_do_not_burn_freshness() {
+        let (mut sensor, mut enclave) = pair();
+        let good = sensor.capture(b"good");
+        let mut bad = good.clone();
+        bad.payload[3] ^= 0xf0;
+        assert_eq!(enclave.receive(&bad), Err(SensorError::BadTag));
+        // The genuine frame still goes through.
+        assert_eq!(enclave.receive(&good).expect("verifies"), b"good".to_vec());
+    }
+
+    #[test]
+    fn wrong_session_key_rejected() {
+        let mut sensor = Sensor::new(Key128::derive(b"sensor"));
+        let mut enclave = SensorReceiver::new(Key128::derive(b"other"));
+        let frame = sensor.capture(b"sample");
+        assert_eq!(enclave.receive(&frame), Err(SensorError::BadTag));
+    }
+
+    #[test]
+    fn identical_samples_produce_distinct_ciphertexts() {
+        let (mut sensor, _) = pair();
+        let a = sensor.capture(b"same-sample");
+        let b = sensor.capture(b"same-sample");
+        assert_ne!(a.payload, b.payload, "fresh pad per sequence number");
+    }
+}

@@ -1,0 +1,352 @@
+//! Software version-number management (paper §III-C, §IV-D, Figs. 9/13).
+//!
+//! One version number per tensor, stored in a table in the fully-protected
+//! enclave memory. While a tensor is produced tile-by-tile, its entry is
+//! *expanded* into per-tile version numbers; once every tile has been
+//! updated the same number of times, the entry is *merged* back into a
+//! single number. The table's storage footprint is tracked because the
+//! paper reports it (1.3 KB on average, up to 7.5 KB for `tf`).
+
+use std::collections::BTreeMap;
+
+/// Index of a tensor in the version table.
+pub type TensorId = u32;
+
+/// Bytes per version number (the paper uses 8 B entries).
+pub const ENTRY_BYTES: u64 = 8;
+
+/// A tensor's entry: a single number, or one per tile while the tensor is
+/// being produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionEntry {
+    /// Tensor-unit version.
+    Single(u64),
+    /// Tile-unit versions (the tensor is mid-update).
+    Expanded(Vec<u64>),
+}
+
+impl VersionEntry {
+    /// Storage bytes this entry occupies.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            VersionEntry::Single(_) => ENTRY_BYTES,
+            VersionEntry::Expanded(tiles) => tiles.len() as u64 * ENTRY_BYTES,
+        }
+    }
+}
+
+/// Errors of version management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionError {
+    /// Unknown tensor.
+    UnknownTensor(TensorId),
+    /// Tile index out of range for the expansion.
+    NoSuchTile {
+        /// Tensor.
+        tensor: TensorId,
+        /// Offending tile index.
+        tile: u32,
+    },
+    /// Merge requested while tile versions still differ — the tiles have
+    /// not all completed the same number of updates, so collapsing to one
+    /// number would lose information and break replay detection.
+    TilesNotUniform(TensorId),
+    /// Expand requested on an already-expanded tensor.
+    AlreadyExpanded(TensorId),
+    /// Tile-granular operation on a non-expanded tensor.
+    NotExpanded(TensorId),
+}
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionError::UnknownTensor(t) => write!(f, "unknown tensor {t}"),
+            VersionError::NoSuchTile { tensor, tile } => {
+                write!(f, "tensor {tensor} has no tile {tile}")
+            }
+            VersionError::TilesNotUniform(t) => {
+                write!(f, "tensor {t} tile versions are not uniform")
+            }
+            VersionError::AlreadyExpanded(t) => write!(f, "tensor {t} is already expanded"),
+            VersionError::NotExpanded(t) => write!(f, "tensor {t} is not expanded"),
+        }
+    }
+}
+
+impl std::error::Error for VersionError {}
+
+/// The version table of one NPU context.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_core::version::VersionTable;
+///
+/// let mut table = VersionTable::new();
+/// table.register(0); // output tensor
+/// table.expand(0, 4).unwrap();
+/// for tile in 0..4 {
+///     assert_eq!(table.bump_tile(0, tile).unwrap(), 1);
+/// }
+/// table.merge(0).unwrap(); // all tiles at version 1: collapse
+/// assert_eq!(table.version(0, 0).unwrap(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VersionTable {
+    entries: BTreeMap<TensorId, VersionEntry>,
+    peak_bytes: u64,
+}
+
+impl VersionTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tensor at version 0 (freshly allocated, never written).
+    pub fn register(&mut self, tensor: TensorId) {
+        self.entries
+            .entry(tensor)
+            .or_insert(VersionEntry::Single(0));
+        self.update_peak();
+    }
+
+    /// Current version supplied to `mvin` for `(tensor, tile)`.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::UnknownTensor`] / [`VersionError::NoSuchTile`].
+    pub fn version(&self, tensor: TensorId, tile: u32) -> Result<u64, VersionError> {
+        match self.entries.get(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Single(v)) => Ok(*v),
+            Some(VersionEntry::Expanded(tiles)) => tiles
+                .get(tile as usize)
+                .copied()
+                .ok_or(VersionError::NoSuchTile { tensor, tile }),
+        }
+    }
+
+    /// Bump the whole-tensor version (a tensor updated as a single unit)
+    /// and return the new value, to be passed to `mvout`.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::UnknownTensor`]; [`VersionError::AlreadyExpanded`]
+    /// if the tensor is mid-expansion (bump its tiles instead).
+    pub fn bump(&mut self, tensor: TensorId) -> Result<u64, VersionError> {
+        match self.entries.get_mut(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
+            Some(VersionEntry::Single(v)) => {
+                *v += 1;
+                Ok(*v)
+            }
+        }
+    }
+
+    /// Expand a tensor into `tiles` tile-unit versions, all starting at the
+    /// current tensor version (Fig. 9 step 0 / Fig. 13 (b)).
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::UnknownTensor`] / [`VersionError::AlreadyExpanded`].
+    pub fn expand(&mut self, tensor: TensorId, tiles: u32) -> Result<(), VersionError> {
+        match self.entries.get_mut(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
+            Some(entry) => {
+                let VersionEntry::Single(v) = *entry else {
+                    unreachable!("expanded case handled above");
+                };
+                *entry = VersionEntry::Expanded(vec![v; tiles as usize]);
+                self.update_peak();
+                Ok(())
+            }
+        }
+    }
+
+    /// Bump one tile's version and return the new value (passed to that
+    /// tile's `mvout`).
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError`] if the tensor is unknown, not expanded, or the
+    /// tile is out of range.
+    pub fn bump_tile(&mut self, tensor: TensorId, tile: u32) -> Result<u64, VersionError> {
+        match self.entries.get_mut(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Single(_)) => Err(VersionError::NotExpanded(tensor)),
+            Some(VersionEntry::Expanded(tiles)) => {
+                let slot = tiles
+                    .get_mut(tile as usize)
+                    .ok_or(VersionError::NoSuchTile { tensor, tile })?;
+                *slot += 1;
+                Ok(*slot)
+            }
+        }
+    }
+
+    /// Merge an expanded tensor back to a single version (Fig. 9 step 9):
+    /// legal only when every tile reached the same version.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::TilesNotUniform`] if tile versions differ;
+    /// [`VersionError::NotExpanded`] / [`VersionError::UnknownTensor`].
+    pub fn merge(&mut self, tensor: TensorId) -> Result<u64, VersionError> {
+        match self.entries.get_mut(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Single(_)) => Err(VersionError::NotExpanded(tensor)),
+            Some(entry) => {
+                let VersionEntry::Expanded(tiles) = &*entry else {
+                    unreachable!("single case handled above");
+                };
+                let first = tiles.first().copied().unwrap_or(0);
+                if tiles.iter().any(|&t| t != first) {
+                    return Err(VersionError::TilesNotUniform(tensor));
+                }
+                *entry = VersionEntry::Single(first);
+                Ok(first)
+            }
+        }
+    }
+
+    /// Current table storage in bytes.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.entries.values().map(VersionEntry::bytes).sum()
+    }
+
+    /// Largest storage the table ever needed (the number §IV-D reports).
+    #[must_use]
+    pub fn peak_storage_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Number of registered tensors.
+    #[must_use]
+    pub fn tensors(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn update_peak(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.storage_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(tensor: TensorId) -> VersionTable {
+        let mut t = VersionTable::new();
+        t.register(tensor);
+        t
+    }
+
+    #[test]
+    fn register_starts_at_zero() {
+        let t = table_with(5);
+        assert_eq!(t.version(5, 0), Ok(0));
+        assert_eq!(t.version(5, 99), Ok(0), "single entry serves any tile");
+    }
+
+    #[test]
+    fn bump_whole_tensor() {
+        let mut t = table_with(1);
+        assert_eq!(t.bump(1), Ok(1));
+        assert_eq!(t.bump(1), Ok(2));
+        assert_eq!(t.version(1, 0), Ok(2));
+    }
+
+    #[test]
+    fn matmul_tiling_example_from_fig9() {
+        // Fig. 9: a 2x2-tiled output; each tile is written once per k-step
+        // (2 steps), then merged.
+        let mut t = table_with(0);
+        t.expand(0, 4).expect("expand");
+        for _step in 0..2 {
+            for tile in 0..4 {
+                t.bump_tile(0, tile).expect("bump");
+            }
+        }
+        assert_eq!(t.merge(0), Ok(2));
+        assert_eq!(t.version(0, 3), Ok(2));
+    }
+
+    #[test]
+    fn merge_rejects_nonuniform() {
+        let mut t = table_with(0);
+        t.expand(0, 3).expect("expand");
+        t.bump_tile(0, 0).expect("bump");
+        assert_eq!(t.merge(0), Err(VersionError::TilesNotUniform(0)));
+        // Completing the remaining tiles makes the merge legal.
+        t.bump_tile(0, 1).expect("bump");
+        t.bump_tile(0, 2).expect("bump");
+        assert_eq!(t.merge(0), Ok(1));
+    }
+
+    #[test]
+    fn expand_preserves_version() {
+        let mut t = table_with(0);
+        t.bump(0).expect("bump");
+        t.expand(0, 2).expect("expand");
+        assert_eq!(t.version(0, 0), Ok(1));
+        assert_eq!(t.version(0, 1), Ok(1));
+    }
+
+    #[test]
+    fn double_expand_rejected() {
+        let mut t = table_with(0);
+        t.expand(0, 2).expect("expand");
+        assert_eq!(t.expand(0, 2), Err(VersionError::AlreadyExpanded(0)));
+        assert_eq!(t.bump(0), Err(VersionError::AlreadyExpanded(0)));
+    }
+
+    #[test]
+    fn tile_ops_need_expansion() {
+        let mut t = table_with(0);
+        assert_eq!(t.bump_tile(0, 0), Err(VersionError::NotExpanded(0)));
+        assert_eq!(t.merge(0), Err(VersionError::NotExpanded(0)));
+    }
+
+    #[test]
+    fn unknown_tensor_errors() {
+        let mut t = VersionTable::new();
+        assert_eq!(t.version(9, 0), Err(VersionError::UnknownTensor(9)));
+        assert_eq!(t.bump(9), Err(VersionError::UnknownTensor(9)));
+        assert_eq!(t.expand(9, 2), Err(VersionError::UnknownTensor(9)));
+    }
+
+    #[test]
+    fn out_of_range_tile() {
+        let mut t = table_with(0);
+        t.expand(0, 2).expect("expand");
+        assert_eq!(
+            t.bump_tile(0, 5),
+            Err(VersionError::NoSuchTile { tensor: 0, tile: 5 })
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut t = VersionTable::new();
+        for i in 0..10 {
+            t.register(i);
+        }
+        assert_eq!(t.storage_bytes(), 80);
+        t.expand(0, 100).expect("expand");
+        assert_eq!(t.storage_bytes(), 9 * 8 + 100 * 8);
+        assert_eq!(t.peak_storage_bytes(), 872);
+        t.bump_tile(0, 0).expect("bump");
+        for tile in 1..100 {
+            t.bump_tile(0, tile).expect("bump");
+        }
+        t.merge(0).expect("merge");
+        assert_eq!(t.storage_bytes(), 80, "merge shrinks the table");
+        assert_eq!(t.peak_storage_bytes(), 872, "peak remembers");
+    }
+}

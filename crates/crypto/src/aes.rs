@@ -1,0 +1,327 @@
+//! AES-128 block cipher.
+//!
+//! The S-box is *derived* (multiplicative inverse in GF(2⁸) followed by the
+//! affine transform) rather than hard-coded, and the implementation is
+//! checked against the FIPS-197 Appendix C known-answer vector in the tests.
+//! Straightforward and untimed — suitable for a simulator's functional
+//! datapath, not for production.
+
+use crate::Key128;
+
+/// Multiply two elements of GF(2⁸) with the AES polynomial x⁸+x⁴+x³+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸); 0 maps to 0.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+    /// Multiplication tables for the MixColumns constants, indexed
+    /// `[constant][x]` with constants 2, 3, 9, 11, 13, 14.
+    mul: [[u8; 256]; 6],
+}
+
+/// Indices into [`Tables::mul`].
+const M2: usize = 0;
+const M3: usize = 1;
+const M9: usize = 2;
+const M11: usize = 3;
+const M13: usize = 4;
+const M14: usize = 5;
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for (i, slot) in sbox.iter_mut().enumerate() {
+            let s = affine(gf_inv(i as u8));
+            *slot = s;
+            inv_sbox[s as usize] = i as u8;
+        }
+        let mut mul = [[0u8; 256]; 6];
+        for (slot, c) in [(M2, 2), (M3, 3), (M9, 9), (M11, 11), (M13, 13), (M14, 14)] {
+            for (x, entry) in mul[slot].iter_mut().enumerate() {
+                *entry = gf_mul(c, x as u8);
+            }
+        }
+        Tables { sbox, inv_sbox, mul }
+    })
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+impl Aes128 {
+    /// Expand `key` into the round-key schedule.
+    #[must_use]
+    pub fn new(key: Key128) -> Self {
+        let t = tables();
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.0.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.inv_sbox[*b as usize];
+        }
+    }
+
+    // State layout: column-major, state[r + 4c] = row r, column c,
+    // matching the FIPS byte order of a 16-byte input block.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        let t = tables();
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = t.mul[M2][col[0] as usize] ^ t.mul[M3][col[1] as usize] ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ t.mul[M2][col[1] as usize] ^ t.mul[M3][col[2] as usize] ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ t.mul[M2][col[2] as usize] ^ t.mul[M3][col[3] as usize];
+            state[4 * c + 3] = t.mul[M3][col[0] as usize] ^ col[1] ^ col[2] ^ t.mul[M2][col[3] as usize];
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        let t = tables();
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = t.mul[M14][col[0] as usize]
+                ^ t.mul[M11][col[1] as usize]
+                ^ t.mul[M13][col[2] as usize]
+                ^ t.mul[M9][col[3] as usize];
+            state[4 * c + 1] = t.mul[M9][col[0] as usize]
+                ^ t.mul[M14][col[1] as usize]
+                ^ t.mul[M11][col[2] as usize]
+                ^ t.mul[M13][col[3] as usize];
+            state[4 * c + 2] = t.mul[M13][col[0] as usize]
+                ^ t.mul[M9][col[1] as usize]
+                ^ t.mul[M14][col[2] as usize]
+                ^ t.mul[M11][col[3] as usize];
+            state[4 * c + 3] = t.mul[M11][col[0] as usize]
+                ^ t.mul[M13][col[1] as usize]
+                ^ t.mul[M9][col[2] as usize]
+                ^ t.mul[M14][col[3] as usize];
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for r in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for r in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of `block`.
+    #[must_use]
+    pub fn encrypt(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut b = block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_first_entries() {
+        // S(0x00) = 0x63, S(0x01) = 0x7c, S(0x53) = 0xed (FIPS-197 examples).
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        let t = tables();
+        for i in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_known_answer() {
+        // FIPS-197 Appendix C.1.
+        let key = Key128([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        let mut block = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let aes = Aes128::new(Key128::derive(b"roundtrip"));
+        for i in 0..32u8 {
+            let mut block = [i; 16];
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(Key128::derive(b"a"));
+        let b = Aes128::new(Key128::derive(b"b"));
+        let pt = [0x42u8; 16];
+        assert_ne!(a.encrypt(pt), b.encrypt(pt));
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        // FIPS-197 §4.2: {57} x {83} = {c1}, {57} x {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(Key128::derive(b"secret"));
+        let s = format!("{aes:?}");
+        assert!(!s.contains("round_keys"));
+    }
+}

@@ -1,0 +1,132 @@
+//! HMAC-SHA256, the keyed MAC behind per-block MACs and attestation reports.
+
+use crate::sha256::{sha256, Sha256};
+
+/// HMAC-SHA256 of `data` under `key`.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag, hmac_sha256(b"key", b"message"));
+/// assert_ne!(tag, hmac_sha256(b"key2", b"message"));
+/// ```
+#[must_use]
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut block_key = [0u8; 64];
+    if key.len() > 64 {
+        block_key[..32].copy_from_slice(&sha256(key));
+    } else {
+        block_key[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= block_key[i];
+        opad[i] ^= block_key[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// An incremental HMAC-SHA256 context for MACing scattered fields without
+/// concatenating them into a buffer first.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Start a MAC under `key`.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            block_key[..32].copy_from_slice(&sha256(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= block_key[i];
+            opad[i] ^= block_key[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad }
+    }
+
+    /// Absorb more data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        let key = vec![0xaau8; 131];
+        // A >64-byte key must behave identically to its SHA-256 digest.
+        let tag1 = hmac_sha256(&key, b"data");
+        let tag2 = hmac_sha256(&sha256(&key), b"data");
+        assert_eq!(tag1, tag2);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut ctx = HmacSha256::new(b"key");
+        ctx.update(b"hello ");
+        ctx.update(b"world");
+        assert_eq!(ctx.finalize(), hmac_sha256(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn data_sensitivity() {
+        assert_ne!(hmac_sha256(b"k", b"a"), hmac_sha256(b"k", b"b"));
+    }
+}

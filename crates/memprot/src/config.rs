@@ -1,0 +1,114 @@
+//! Configuration of the memory-protection engines, with the paper's
+//! evaluation parameters as defaults (§V-A).
+
+use tnpu_sim::cache::CacheConfig;
+use tnpu_sim::Cycles;
+
+/// All parameters of a protection engine.
+///
+/// Defaults reproduce the paper's methodology:
+///
+/// * 4 KB counter cache, 4 KB hash cache, 8 KB MAC cache — all 64 B lines,
+///   8-way.
+/// * SC-64 split counters (64 counters per 64 B counter block) and a 64-ary
+///   counter tree.
+/// * Counter-mode OTP latency 10 + 1 cycles; AES-XTS latency 13 cycles.
+/// * Whole-DRAM coverage for the baseline tree; a 128 MB fully-protected
+///   region for TNPU's version table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectionConfig {
+    /// Bytes of DRAM covered by the baseline counter tree.
+    pub dram_size: u64,
+    /// Size of the fully-protected region (TNPU's tree-protected island).
+    pub fully_protected_size: u64,
+    /// Counter cache geometry.
+    pub counter_cache: CacheConfig,
+    /// Hash (tree-node) cache geometry.
+    pub hash_cache: CacheConfig,
+    /// MAC cache geometry.
+    pub mac_cache: CacheConfig,
+    /// Arity of the counter tree.
+    pub tree_arity: u64,
+    /// Use the VAULT-style variable-arity tree (paper related-work ref 18): wide
+    /// near the leaves, narrowing towards the root. Overrides `tree_arity`
+    /// for levels above the first.
+    pub vault_tree: bool,
+    /// Data blocks covered per counter block (SC-64: 64).
+    pub counters_per_block: u64,
+    /// Writes a single data block sustains before its minor counter
+    /// overflows (7-bit minor counters: 128).
+    pub minor_counter_limit: u32,
+    /// Counter-mode pad generation latency (10 cycles AES + 1 cycle XOR).
+    pub otp_latency: Cycles,
+    /// AES-XTS latency (10 cycles for two parallel AES + 3 cycles for the
+    /// additions/XOR).
+    pub xts_latency: Cycles,
+}
+
+impl ProtectionConfig {
+    /// The paper's evaluation configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ProtectionConfig {
+            dram_size: 4 << 30,
+            fully_protected_size: 128 << 20,
+            counter_cache: CacheConfig::new("counter", 4 << 10, 8, 64),
+            hash_cache: CacheConfig::new("hash", 4 << 10, 8, 64),
+            mac_cache: CacheConfig::new("mac", 8 << 10, 8, 64),
+            tree_arity: 64,
+            vault_tree: false,
+            counters_per_block: 64,
+            minor_counter_limit: 128,
+            otp_latency: Cycles(11),
+            xts_latency: Cycles(13),
+        }
+    }
+
+    /// A configuration with caches scaled by `factor` (for sensitivity
+    /// sweeps; `factor` must be a power of two so geometry stays valid).
+    #[must_use]
+    pub fn with_cache_scale(mut self, factor: usize) -> Self {
+        assert!(factor.is_power_of_two(), "cache scale must be a power of two");
+        self.counter_cache =
+            CacheConfig::new("counter", self.counter_cache.capacity * factor, 8, 64);
+        self.hash_cache = CacheConfig::new("hash", self.hash_cache.capacity * factor, 8, 64);
+        self.mac_cache = CacheConfig::new("mac", self.mac_cache.capacity * factor, 8, 64);
+        self
+    }
+}
+
+impl Default for ProtectionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_methodology() {
+        let c = ProtectionConfig::paper_default();
+        assert_eq!(c.counter_cache.capacity, 4096);
+        assert_eq!(c.hash_cache.capacity, 4096);
+        assert_eq!(c.mac_cache.capacity, 8192);
+        assert_eq!(c.tree_arity, 64);
+        assert_eq!(c.counters_per_block, 64);
+        assert_eq!(c.otp_latency, Cycles(11));
+        assert_eq!(c.xts_latency, Cycles(13));
+        assert_eq!(c.fully_protected_size, 128 << 20);
+    }
+
+    #[test]
+    fn vault_off_by_default() {
+        assert!(!ProtectionConfig::paper_default().vault_tree);
+    }
+
+    #[test]
+    fn cache_scaling() {
+        let c = ProtectionConfig::paper_default().with_cache_scale(2);
+        assert_eq!(c.counter_cache.capacity, 8192);
+        assert_eq!(c.mac_cache.capacity, 16384);
+    }
+}

@@ -1,0 +1,74 @@
+//! Encryption-only ablation: AES-XTS with no integrity protection.
+//!
+//! This corresponds to *scalable SGX* in the paper's background (§II-B):
+//! total-memory encryption without MACs or a tree, providing confidentiality
+//! but no integrity/replay protection against physical attacks. It bounds
+//! the cost of TNPU's integrity support (the gap between this engine and
+//! [`crate::treeless_engine::TreelessEngine`] is exactly the MAC overhead).
+
+use crate::config::ProtectionConfig;
+use crate::engine::{AccessCost, EngineStats, ProtectionEngine};
+use crate::SchemeKind;
+use tnpu_sim::{Addr, Cycles};
+
+/// AES-XTS-only engine (no MACs, no tree, no metadata traffic).
+#[derive(Debug)]
+pub struct EncryptOnlyEngine {
+    config: ProtectionConfig,
+    stats: EngineStats,
+}
+
+impl EncryptOnlyEngine {
+    /// Build the engine.
+    #[must_use]
+    pub fn new(config: ProtectionConfig) -> Self {
+        EncryptOnlyEngine {
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+}
+
+impl ProtectionEngine for EncryptOnlyEngine {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::EncryptOnly
+    }
+
+    fn read_block(&mut self, _addr: Addr, _version: u64) -> AccessCost {
+        AccessCost::FREE
+    }
+
+    fn write_block(&mut self, _addr: Addr, _version: u64) -> AccessCost {
+        AccessCost::FREE
+    }
+
+    fn pipeline_latency(&self) -> Cycles {
+        self.config.xts_latency
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    fn flush(&mut self) {
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_metadata_cost_but_xts_latency() {
+        let mut e = EncryptOnlyEngine::new(ProtectionConfig::paper_default());
+        assert_eq!(e.read_block(Addr(0), 0), AccessCost::FREE);
+        assert_eq!(e.write_block(Addr(0), 0), AccessCost::FREE);
+        assert_eq!(e.pipeline_latency(), Cycles(13));
+        assert_eq!(e.stats().traffic.total(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Sparse simulated DRAM holding ciphertext blocks.
+
+use std::collections::HashMap;
+use tnpu_sim::{Addr, BLOCK_SIZE};
+
+/// A sparse byte store at 64 B block granularity.
+///
+/// This is the *untrusted* DRAM: tests use [`RawDram::block_mut`] to model
+/// a physical attacker flipping bits on the memory bus or module.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_memprot::functional::RawDram;
+/// use tnpu_sim::Addr;
+///
+/// let mut dram = RawDram::new();
+/// dram.write_block(Addr(0), [7u8; 64]);
+/// assert_eq!(dram.read_block(Addr(0)), Some([7u8; 64]));
+/// assert_eq!(dram.read_block(Addr(64)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RawDram {
+    blocks: HashMap<u64, [u8; BLOCK_SIZE]>,
+}
+
+impl RawDram {
+    /// Empty DRAM.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a block. `addr` must be block-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64 B aligned.
+    pub fn write_block(&mut self, addr: Addr, data: [u8; BLOCK_SIZE]) {
+        assert_eq!(addr.block_offset(), 0, "unaligned block write at {addr}");
+        self.blocks.insert(addr.block().0, data);
+    }
+
+    /// Load a block, if it was ever written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64 B aligned.
+    #[must_use]
+    pub fn read_block(&self, addr: Addr) -> Option<[u8; BLOCK_SIZE]> {
+        assert_eq!(addr.block_offset(), 0, "unaligned block read at {addr}");
+        self.blocks.get(&addr.block().0).copied()
+    }
+
+    /// Direct mutable access to a stored block — the physical-attack hook.
+    pub fn block_mut(&mut self, addr: Addr) -> Option<&mut [u8; BLOCK_SIZE]> {
+        self.blocks.get_mut(&addr.block().0)
+    }
+
+    /// Number of blocks ever written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether `needle` appears anywhere in the stored bytes — used by
+    /// confidentiality tests to assert plaintext never reaches DRAM.
+    #[must_use]
+    pub fn contains_bytes(&self, needle: &[u8]) -> bool {
+        if needle.is_empty() {
+            return true;
+        }
+        self.blocks
+            .values()
+            .any(|block| block.windows(needle.len()).any(|w| w == needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut d = RawDram::new();
+        assert!(d.is_empty());
+        d.write_block(Addr(128), [3u8; 64]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.read_block(Addr(128)), Some([3u8; 64]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_panics() {
+        RawDram::new().write_block(Addr(3), [0u8; 64]);
+    }
+
+    #[test]
+    fn tamper_hook() {
+        let mut d = RawDram::new();
+        d.write_block(Addr(0), [0u8; 64]);
+        d.block_mut(Addr(0)).expect("present")[5] = 0xff;
+        assert_eq!(d.read_block(Addr(0)).expect("present")[5], 0xff);
+    }
+
+    #[test]
+    fn contains_bytes_scans_across_content() {
+        let mut d = RawDram::new();
+        let mut block = [0u8; 64];
+        block[10..14].copy_from_slice(b"SECR");
+        d.write_block(Addr(0), block);
+        assert!(d.contains_bytes(b"SECR"));
+        assert!(!d.contains_bytes(b"ABSENT"));
+        assert!(d.contains_bytes(b""));
+    }
+}

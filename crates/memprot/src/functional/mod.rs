@@ -1,0 +1,75 @@
+//! Functional (real-bytes) implementations of the protection schemes.
+//!
+//! The timing engines ([`crate::tree_engine`], [`crate::treeless_engine`])
+//! model *cost*; the types in this module implement the actual datapath
+//! with [`tnpu_crypto`] so the paper's security claims can be tested:
+//! ciphertext in DRAM, per-block MACs, counters with a real hash tree, and
+//! attack hooks that simulate physical tampering and replay.
+//!
+//! These run per-byte crypto and are used by tests, examples and the
+//! functional mode of the secure runner — not by the figure sweeps.
+
+pub mod dram;
+pub mod encrypt_only;
+pub mod tree;
+pub mod treeless;
+
+pub use dram::RawDram;
+pub use encrypt_only::EncryptOnlyMemory;
+pub use tree::CounterTreeMemory;
+pub use treeless::TreelessMemory;
+
+/// Why a protected read was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The per-block MAC did not match (content, address or version is
+    /// inconsistent with what was written).
+    MacMismatch {
+        /// Block base address of the failing block.
+        addr: u64,
+    },
+    /// A counter-tree node hash did not match — the counter has been
+    /// tampered with or replayed.
+    TreeMismatch {
+        /// Tree level at which verification failed (0 = counter block).
+        level: u32,
+    },
+    /// The block was never written (no ciphertext to return).
+    NotWritten {
+        /// Block base address of the missing block.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::MacMismatch { addr } => {
+                write!(f, "mac verification failed for block at {addr:#x}")
+            }
+            IntegrityError::TreeMismatch { level } => {
+                write!(f, "integrity-tree verification failed at level {level}")
+            }
+            IntegrityError::NotWritten { addr } => {
+                write!(f, "block at {addr:#x} was never written")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = IntegrityError::MacMismatch { addr: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        let e = IntegrityError::TreeMismatch { level: 2 };
+        assert!(e.to_string().contains("level 2"));
+        let e = IntegrityError::NotWritten { addr: 0x80 };
+        assert!(e.to_string().contains("never written"));
+    }
+}

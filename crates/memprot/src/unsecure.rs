@@ -1,0 +1,60 @@
+//! The unprotected engine — every figure in the paper normalizes to it.
+
+use crate::engine::{AccessCost, EngineStats, ProtectionEngine};
+use crate::SchemeKind;
+use tnpu_sim::Addr;
+
+/// No encryption, no integrity: all accesses are free of metadata cost.
+#[derive(Debug, Clone, Default)]
+pub struct UnsecureEngine {
+    stats: EngineStats,
+}
+
+impl UnsecureEngine {
+    /// Create the engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ProtectionEngine for UnsecureEngine {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Unsecure
+    }
+
+    fn read_block(&mut self, _addr: Addr, _version: u64) -> AccessCost {
+        AccessCost::FREE
+    }
+
+    fn write_block(&mut self, _addr: Addr, _version: u64) -> AccessCost {
+        AccessCost::FREE
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    fn flush(&mut self) {
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_free() {
+        let mut e = UnsecureEngine::new();
+        assert_eq!(e.read_block(Addr(0), 1), AccessCost::FREE);
+        assert_eq!(e.write_block(Addr(64), 2), AccessCost::FREE);
+        assert_eq!(e.version_access(Addr(0), true), AccessCost::FREE);
+        assert_eq!(e.pipeline_latency(), tnpu_sim::Cycles::ZERO);
+        assert_eq!(e.stats().traffic.total(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Engine consistency properties: for every scheme and any access stream,
+//! the per-access [`AccessCost`] sums must equal the engine's accumulated
+//! [`TrafficStats`] — the invariant that keeps the DMA's bandwidth
+//! accounting and the reported figures in agreement.
+
+use proptest::prelude::*;
+use tnpu_memprot::engine::AccessCost;
+use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::Addr;
+
+fn streams() -> impl Strategy<Value = (u64, Vec<(u64, bool)>)> {
+    (
+        any::<u64>(),
+        prop::collection::vec((0u64..(1 << 20), any::<bool>()), 1..300),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// AccessCost.meta_bytes sums to the engine's total metadata traffic
+    /// for every scheme, for arbitrary block streams.
+    #[test]
+    fn cost_matches_traffic((_, accesses) in streams()) {
+        for scheme in SchemeKind::ALL {
+            let mut engine = build_engine(scheme, &ProtectionConfig::paper_default());
+            let mut summed = AccessCost::FREE;
+            for &(block, write) in &accesses {
+                let addr = Addr(block * 64);
+                let cost = if write {
+                    engine.write_block(addr, 1)
+                } else {
+                    engine.read_block(addr, 1)
+                };
+                summed.merge(cost);
+            }
+            let stats = engine.stats();
+            prop_assert_eq!(
+                summed.meta_bytes,
+                stats.traffic.total(),
+                "{}: cost sum vs traffic stats",
+                scheme
+            );
+        }
+    }
+
+    /// Stats reset really zeroes the counters while cache contents persist
+    /// (warm caches make the next access cheaper, not costlier).
+    #[test]
+    fn reset_keeps_warm_state(block in 0u64..(1 << 18)) {
+        let mut engine = build_engine(SchemeKind::TreeBased, &ProtectionConfig::paper_default());
+        let addr = Addr(block * 64);
+        let cold = engine.read_block(addr, 1);
+        engine.reset_stats();
+        prop_assert_eq!(engine.stats().traffic.total(), 0);
+        let warm = engine.read_block(addr, 1);
+        prop_assert!(warm.meta_bytes <= cold.meta_bytes);
+        prop_assert_eq!(warm, AccessCost::FREE);
+    }
+}
+
+/// A mixed random stream through the tree engine keeps the counter-cache
+/// accounting sane: accesses equal block accesses, and write-backs never
+/// exceed misses.
+#[test]
+fn tree_engine_cache_accounting() {
+    let mut engine = build_engine(SchemeKind::TreeBased, &ProtectionConfig::paper_default());
+    let mut rng = SplitMix64::new(99);
+    let n = 20_000u64;
+    for _ in 0..n {
+        let addr = Addr(rng.next_below(1 << 22) * 64);
+        if rng.next_below(2) == 0 {
+            engine.read_block(addr, 1);
+        } else {
+            engine.write_block(addr, 1);
+        }
+    }
+    let s = engine.stats();
+    assert_eq!(s.counter_cache.accesses(), n);
+    assert_eq!(s.mac_cache.accesses(), n);
+    assert!(s.counter_cache.writebacks <= s.counter_cache.misses);
+    assert!(s.hash_cache.writebacks <= s.hash_cache.misses);
+}
+
+/// The treeless engine never touches counter or hash structures.
+#[test]
+fn treeless_never_uses_counters() {
+    let mut engine = build_engine(SchemeKind::Treeless, &ProtectionConfig::paper_default());
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..5_000 {
+        engine.read_block(Addr(rng.next_below(1 << 22) * 64), 1);
+        engine.write_block(Addr(rng.next_below(1 << 22) * 64), 2);
+    }
+    let s = engine.stats();
+    assert_eq!(s.traffic.counter, 0);
+    assert_eq!(s.traffic.tree, 0);
+    assert_eq!(s.counter_cache.accesses(), 0, "no version accesses -> no inner activity");
+}

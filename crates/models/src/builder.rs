@@ -1,0 +1,332 @@
+//! A small builder that tracks the current activation shape while chaining
+//! layers, so model definitions stay close to how architectures are written
+//! in papers.
+
+use crate::{Layer, LayerKind, Model, TensorSource};
+
+/// Incrementally builds a [`Model`], tracking the `(c, h, w)` shape of the
+/// most recent layer's output.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_models::ModelBuilder;
+///
+/// let model = ModelBuilder::new("tiny", "TinyNet", (3, 32, 32))
+///     .conv("c1", 16, 3, 1, 1)
+///     .pool("p1", 2, 2)
+///     .fc("fc", 10)
+///     .build();
+/// assert_eq!(model.layers.len(), 3);
+/// model.validate().expect("valid model");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    full_name: String,
+    input_elements: u64,
+    shape: (u64, u64, u64),
+    last: TensorSource,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Start a model whose input has shape `(c, h, w)`.
+    #[must_use]
+    pub fn new(name: &str, full_name: &str, input_shape: (u64, u64, u64)) -> Self {
+        let (c, h, w) = input_shape;
+        ModelBuilder {
+            name: name.to_owned(),
+            full_name: full_name.to_owned(),
+            input_elements: c * h * w,
+            shape: input_shape,
+            last: TensorSource::ModelInput,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Index that the *next* pushed layer will get.
+    #[must_use]
+    pub fn next_index(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The source of the current (latest) activation.
+    #[must_use]
+    pub fn cursor(&self) -> TensorSource {
+        self.last
+    }
+
+    /// Current activation shape `(c, h, w)`.
+    #[must_use]
+    pub fn shape(&self) -> (u64, u64, u64) {
+        self.shape
+    }
+
+    /// Rewind the cursor back to the model input (for models with several
+    /// consumers of the input, e.g. NCF's two embedding gathers).
+    #[must_use]
+    pub fn from_input(mut self) -> Self {
+        self.last = TensorSource::ModelInput;
+        self
+    }
+
+    /// Rewind the cursor to an earlier layer's output (for branches).
+    #[must_use]
+    pub fn from_layer(mut self, index: usize) -> Self {
+        assert!(index < self.layers.len(), "layer {index} not defined yet");
+        self.shape = self.layers[index].kind.out_shape();
+        self.last = TensorSource::Layer(index);
+        self
+    }
+
+    fn push(&mut self, name: &str, kind: LayerKind, inputs: Vec<TensorSource>) {
+        self.layers.push(Layer {
+            name: name.to_owned(),
+            kind,
+            inputs,
+            weights_shared_with: None,
+        });
+        self.shape = kind.out_shape();
+        self.last = TensorSource::Layer(self.layers.len() - 1);
+    }
+
+    /// 2-D convolution from the current shape.
+    #[must_use]
+    pub fn conv(mut self, name: &str, out_c: u64, k: u64, stride: u64, pad: u64) -> Self {
+        let (in_c, in_h, in_w) = self.shape;
+        let kind = LayerKind::Conv {
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Non-square 2-D convolution (for speech front-ends).
+    #[must_use]
+    pub fn conv_rect(
+        mut self,
+        name: &str,
+        out_c: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        pad: u64,
+    ) -> Self {
+        let (in_c, in_h, in_w) = self.shape;
+        let kind = LayerKind::Conv {
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            kh,
+            kw,
+            stride,
+            pad,
+        };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Depthwise convolution.
+    #[must_use]
+    pub fn dwconv(mut self, name: &str, k: u64, stride: u64, pad: u64) -> Self {
+        let (c, in_h, in_w) = self.shape;
+        let kind = LayerKind::DwConv {
+            c,
+            in_h,
+            in_w,
+            k,
+            stride,
+            pad,
+        };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Pooling.
+    #[must_use]
+    pub fn pool(mut self, name: &str, k: u64, stride: u64) -> Self {
+        let (c, in_h, in_w) = self.shape;
+        let kind = LayerKind::Pool {
+            c,
+            in_h,
+            in_w,
+            k,
+            stride,
+        };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Fully-connected layer; flattens the current shape.
+    #[must_use]
+    pub fn fc(mut self, name: &str, out_f: u64) -> Self {
+        let (c, h, w) = self.shape;
+        let kind = LayerKind::Fc {
+            in_f: c * h * w,
+            out_f,
+            batch: 1,
+        };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Explicit matmul (for attention / recurrent lowering). The current
+    /// activation becomes the `M×K` operand.
+    #[must_use]
+    pub fn matmul(mut self, name: &str, m: u64, k: u64, n: u64) -> Self {
+        let kind = LayerKind::MatMul { m, k, n };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Embedding gather feeding from the model input (token indices).
+    #[must_use]
+    pub fn embedding(mut self, name: &str, vocab: u64, dim: u64, seq: u64) -> Self {
+        let kind = LayerKind::Embedding { vocab, dim, seq };
+        let input = self.last;
+        self.push(name, kind, vec![input]);
+        self
+    }
+
+    /// Residual add between the current activation and layer `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two operand sizes differ.
+    #[must_use]
+    pub fn add(mut self, name: &str, other: usize) -> Self {
+        let elements = self.shape.0 * self.shape.1 * self.shape.2;
+        let other_elements = self.layers[other].kind.out_elements();
+        assert_eq!(
+            elements, other_elements,
+            "residual add operands disagree: {elements} vs {other_elements}"
+        );
+        let (c, h, w) = self.shape;
+        let kind = LayerKind::Eltwise { c, h, w };
+        let input = self.last;
+        self.push(name, kind, vec![input, TensorSource::Layer(other)]);
+        self
+    }
+
+    /// Concatenate the outputs of `parts` along channels; they must share
+    /// spatial dims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two parts are given.
+    #[must_use]
+    pub fn concat(mut self, name: &str, parts: &[usize]) -> Self {
+        assert!(parts.len() >= 2, "concat needs at least two branches");
+        let (_, h, w) = self.layers[parts[0]].kind.out_shape();
+        let c: u64 = parts
+            .iter()
+            .map(|&p| self.layers[p].kind.out_shape().0)
+            .sum();
+        let kind = LayerKind::Concat { c, h, w };
+        let inputs = parts.iter().map(|&p| TensorSource::Layer(p)).collect();
+        self.push(name, kind, inputs);
+        self
+    }
+
+    /// Mark the most recent layer as sharing its weight tensor with layer
+    /// `index` (tied weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer has been pushed yet.
+    #[must_use]
+    pub fn share_weights_with(mut self, index: usize) -> Self {
+        let last = self.layers.last_mut().expect("no layer to annotate");
+        last.weights_shared_with = Some(index);
+        self
+    }
+
+    /// Finish and validate the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled data-flow graph is invalid (builder misuse).
+    #[must_use]
+    pub fn build(self) -> Model {
+        let model = Model {
+            name: self.name,
+            full_name: self.full_name,
+            input_elements: self.input_elements,
+            layers: self.layers,
+        };
+        if let Err(e) = model.validate() {
+            panic!("builder produced invalid model {}: {e}", model.name);
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ELEM_BYTES;
+
+    #[test]
+    fn shapes_chain_through_layers() {
+        let b = ModelBuilder::new("t", "t", (3, 224, 224))
+            .conv("c1", 64, 7, 2, 3)
+            .pool("p1", 2, 2);
+        assert_eq!(b.shape(), (64, 56, 56));
+    }
+
+    #[test]
+    fn residual_block_builds_valid_dag() {
+        let mut b = ModelBuilder::new("t", "t", (16, 8, 8));
+        b = b.conv("c1", 16, 3, 1, 1);
+        let trunk = b.next_index() - 1;
+        b = b.conv("c2", 16, 3, 1, 1).add("add", trunk);
+        let m = b.build();
+        assert_eq!(m.layers.len(), 3);
+        assert_eq!(
+            m.layers[2].inputs,
+            vec![TensorSource::Layer(1), TensorSource::Layer(0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_residual_panics() {
+        let b = ModelBuilder::new("t", "t", (16, 8, 8)).conv("c1", 16, 3, 1, 1);
+        let trunk = b.next_index() - 1;
+        let _ = b.conv("c2", 32, 3, 1, 1).add("add", trunk);
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let m = ModelBuilder::new("t", "t", (8, 4, 4)).fc("fc", 10).build();
+        assert_eq!(
+            m.layers[0].kind.weight_elements() * ELEM_BYTES,
+            8 * 4 * 4 * 10 * 2
+        );
+    }
+
+    #[test]
+    fn from_layer_rewinds_cursor() {
+        let b = ModelBuilder::new("t", "t", (3, 8, 8))
+            .conv("c1", 4, 3, 1, 1)
+            .conv("c2", 8, 3, 1, 1)
+            .from_layer(0);
+        assert_eq!(b.shape(), (4, 8, 8));
+        assert_eq!(b.cursor(), TensorSource::Layer(0));
+    }
+}

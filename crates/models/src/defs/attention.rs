@@ -1,0 +1,163 @@
+//! The embedding-heavy benchmarks: sent, tf, ncf.
+//!
+//! These are the paper's stress cases (§III-B, §V-B): their embedding
+//! layers perform many fine-grained lookups scattered across large tables,
+//! which destroys the spatial locality the baseline's counter cache relies
+//! on. `tf` additionally carries a full-vocabulary output projection (tied
+//! to the embedding table), whose weight matrix is streamed in small
+//! strided slices.
+
+use crate::{Model, ModelBuilder};
+
+/// Sentimental-seqCNN: word embeddings over a large vocabulary followed by
+/// a sequence convolution and classifier. Long documents (`seq = 8192`)
+/// make the scattered embedding gathers a dominant traffic component.
+#[must_use]
+pub fn sentimental() -> Model {
+    let vocab = 88_000;
+    let dim = 300;
+    let seq = 8192;
+    ModelBuilder::new("sent", "Sentimental-seqCNN", (1, seq, 1))
+        .embedding("embed", vocab, dim, seq)
+        // Sequence convolution with window 3 over the embedded text,
+        // expressed as a 1-D convolution (channels = embedding dim).
+        .conv_rect("seq_conv", 128, 3, 1, 1, 0)
+        .pool("max_over_time", 4095, 4095)
+        .fc("classifier", 2)
+        .build()
+}
+
+/// Transformer encoder (base configuration: 6 layers, d_model 512,
+/// d_ff 2048, 8 heads folded into aggregate attention GEMMs) with a tied
+/// full-vocabulary output projection.
+#[must_use]
+pub fn transformer() -> Model {
+    let vocab = 32_000;
+    let d = 512;
+    let d_ff = 2048;
+    let seq = 256;
+    let mut b = ModelBuilder::new("tf", "Transformer", (1, seq, 1)).embedding(
+        "embed", vocab, d, seq,
+    );
+    let embed = b.next_index() - 1;
+    for l in 0..6 {
+        let block_in = b.next_index() - 1;
+        b = b
+            .matmul(&format!("l{l}_qkv"), seq, d, 3 * d)
+            // All-head score computation, aggregated: per head m=seq,k=64,
+            // n=seq; folded into one GEMM with the same MAC count.
+            .matmul(&format!("l{l}_scores"), seq, d, seq)
+            .matmul(&format!("l{l}_attnv"), seq, seq, d)
+            .matmul(&format!("l{l}_proj"), seq, d, d)
+            .add(&format!("l{l}_res1"), block_in)
+            .matmul(&format!("l{l}_ffn1"), seq, d, d_ff)
+            .matmul(&format!("l{l}_ffn2"), seq, d_ff, d);
+        let ffn_out = b.next_index() - 1;
+        let res1 = ffn_out - 2;
+        b = b.from_layer(ffn_out).add(&format!("l{l}_res2"), res1);
+    }
+    // Tied output projection over the full vocabulary: streams the 32 MB
+    // embedding table as a weight matrix in fine-grained strided slices.
+    b = b
+        .matmul("out_proj", seq, d, vocab)
+        .share_weights_with(embed);
+    b.build()
+}
+
+/// NCF recommendation: user and item embedding gathers (128 B rows — the
+/// finest-grained access in the suite) followed by a small MLP over the
+/// batch.
+#[must_use]
+pub fn ncf() -> Model {
+    let users = 72_000;
+    let items = 18_000;
+    let dim = 64;
+    let batch = 512;
+    let mut b = ModelBuilder::new("ncf", "NCF-recommendation", (2, batch, 1));
+    b = b.embedding("user_embed", users, dim, batch);
+    let ue = b.next_index() - 1;
+    // The item gather also reads the model input (the id pairs).
+    b = b.from_input().embedding("item_embed", items, dim, batch);
+    let ie = b.next_index() - 1;
+    b = b
+        .concat("pair", &[ue, ie])
+        .matmul("mlp1", batch, 2 * dim, 512)
+        .matmul("mlp2", batch, 512, 256)
+        .matmul("mlp3", batch, 256, 128)
+        .matmul("score", batch, 128, 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn all_attention_models_validate() {
+        for m in [sentimental(), transformer(), ncf()] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn footprints_near_table3() {
+        let mb = |m: &Model| m.footprint_bytes() as f64 / (1 << 20) as f64;
+        for (m, paper) in [(sentimental(), 58.8), (transformer(), 75.6), (ncf(), 11.6)] {
+            let got = mb(&m);
+            let rel = (got - paper).abs() / paper;
+            assert!(rel < 1.0, "{}: {got:.1} MB vs paper {paper} MB", m.name);
+        }
+    }
+
+    #[test]
+    fn tf_tops_the_suite_and_sent_is_near_the_top() {
+        // Table III: tf (75.6 MB) is the largest footprint and sent
+        // (58.8 MB) is second. Our reconstruction keeps tf on top; sent
+        // lands in the top three (our ResNet50 counts all activations).
+        let mut sizes: Vec<(String, u64)> = crate::registry::all_models()
+            .iter()
+            .map(|m| (m.name.clone(), m.footprint_bytes()))
+            .collect();
+        sizes.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+        assert_eq!(sizes[0].0, "tf", "ordering: {sizes:?}");
+        let top3: Vec<&str> = sizes[..3].iter().map(|(n, _)| n.as_str()).collect();
+        assert!(top3.contains(&"sent"), "ordering: {sizes:?}");
+    }
+
+    #[test]
+    fn transformer_ties_output_projection() {
+        let m = transformer();
+        let out = m.layers.last().expect("non-empty");
+        assert!(out.weights_shared_with.is_some());
+        let shared = out.weights_shared_with.expect("tied");
+        assert!(matches!(m.layers[shared].kind, LayerKind::Embedding { .. }));
+        assert_eq!(
+            m.layers[shared].kind.weight_elements(),
+            out.kind.weight_elements()
+        );
+    }
+
+    #[test]
+    fn ncf_has_two_embeddings() {
+        let m = ncf();
+        let gathers = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Embedding { .. }))
+            .count();
+        assert_eq!(gathers, 2);
+    }
+
+    #[test]
+    fn embedding_rows_are_fine_grained() {
+        // ncf rows are 128 B (2 blocks), sent rows 600 B — both far below
+        // the 4 KB counter-block coverage, which is the paper's point.
+        let m = ncf();
+        if let LayerKind::Embedding { dim, .. } = m.layers[0].kind {
+            assert_eq!(dim * crate::ELEM_BYTES, 128);
+        } else {
+            panic!("first ncf layer must be an embedding");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Definitions of the 14 benchmark networks (Table III).
+//!
+//! Grouped by family:
+//!
+//! * [`vision`] — the CNNs: GoogleNet, MobileNet, Yolo-tiny, AlexNet,
+//!   FasterRCNN (VGG16 backbone), DeepFace, ResNet50, AlphaGoZero.
+//! * [`sequence`] — the recurrent models, lowered to batched GEMMs:
+//!   MelodyExtractionDetection, Text-generation, DeepSpeech2.
+//! * [`attention`] — the embedding-heavy models that stress fine-grained
+//!   memory access: Sentimental-seqCNN, Transformer, NCF.
+//!
+//! Dimensions follow the published architectures; where the original uses a
+//! structure our layer set cannot express exactly (inception pool-proj
+//! branches, locally-connected DeepFace layers), the substitution keeps the
+//! layer's GEMM shape and tensor sizes and is noted in the builder code.
+//! Computed footprints are compared against the paper's Table III in
+//! `EXPERIMENTS.md`.
+
+pub mod attention;
+pub mod sequence;
+pub mod vision;

@@ -1,0 +1,131 @@
+//! The recurrent benchmarks, lowered to batched GEMMs: med, tx, ds2.
+//!
+//! Inference over a known input sequence lets the gate matmuls of
+//! LSTM/GRU layers be batched over time steps (`M = seq`), which is how
+//! layer-wise NPU simulators (SCALE-Sim and the paper's extension of it)
+//! process recurrent models. Batched `M` makes these models compute-bound —
+//! consistent with the paper's observation that `med` and `tx` show almost
+//! no protection overhead at one NPU (§V-C).
+
+use crate::{Model, ModelBuilder};
+
+/// MelodyExtractionDetection: 2-layer bidirectional LSTM over a 513-bin
+/// spectrogram, hidden size 512, plus the note classifier.
+#[must_use]
+pub fn melody_extraction() -> Model {
+    let seq = 768;
+    let input_bins = 513;
+    let hidden = 512;
+    let gates = 4 * hidden;
+    ModelBuilder::new("med", "MelodyExtractionDetection", (input_bins, seq, 1))
+        // Layer 1, forward and backward directions.
+        .matmul("lstm1_fw", seq, input_bins + hidden, gates)
+        .matmul("lstm1_bw", seq, input_bins + hidden, gates)
+        // Layer 2 consumes the concatenated 2*hidden state.
+        .matmul("lstm2_fw", seq, 2 * hidden + hidden, gates)
+        .matmul("lstm2_bw", seq, 2 * hidden + hidden, gates)
+        .matmul("classifier", seq, 2 * hidden, 722)
+        .build()
+}
+
+/// Text-generation (Graves-style character LSTM): embedding + 3 LSTM layers
+/// of hidden size 672 + output projection.
+#[must_use]
+pub fn text_generation() -> Model {
+    let seq = 512;
+    let vocab = 256;
+    let dim = 256;
+    let hidden = 672;
+    let gates = 4 * hidden;
+    ModelBuilder::new("tx", "Text-generation", (1, seq, 1))
+        .embedding("embed", vocab, dim, seq)
+        .matmul("lstm1", seq, dim + hidden, gates)
+        .matmul("lstm2", seq, hidden + hidden, gates)
+        .matmul("lstm3", seq, hidden + hidden, gates)
+        .matmul("proj", seq, hidden, vocab)
+        .build()
+}
+
+/// DeepSpeech2: 2-D convolutional front-end over the spectrogram, then five
+/// GRU layers of hidden size 500, then the CTC classifier.
+#[must_use]
+pub fn deepspeech2() -> Model {
+    let hidden = 500;
+    let gates = 3 * hidden; // GRU
+    let mut b = ModelBuilder::new("ds2", "DeepSpeech2", (1, 161, 200))
+        .conv_rect("conv1", 32, 41, 11, 2, 0)
+        .conv_rect("conv2", 32, 21, 11, 2, 0);
+    // conv2 output: (32, 21, 43) -> features 672 per time step, seq 43.
+    let (c, h, w) = b.shape();
+    let features = c * h;
+    let seq = w;
+    b = b
+        .matmul("gru1", seq, features + hidden, gates)
+        .matmul("gru2", seq, hidden + hidden, gates)
+        .matmul("gru3", seq, hidden + hidden, gates)
+        .matmul("gru4", seq, hidden + hidden, gates)
+        .matmul("gru5", seq, hidden + hidden, gates)
+        .matmul("ctc", seq, hidden, 29);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sequence_models_validate() {
+        for m in [melody_extraction(), text_generation(), deepspeech2()] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn footprints_near_table3() {
+        let mb = |m: &Model| m.footprint_bytes() as f64 / (1 << 20) as f64;
+        for (m, paper) in [
+            (melody_extraction(), 34.8),
+            (text_generation(), 21.7),
+            (deepspeech2(), 15.6),
+        ] {
+            let got = mb(&m);
+            let rel = (got - paper).abs() / paper;
+            assert!(rel < 0.45, "{}: {got:.1} MB vs paper {paper} MB", m.name);
+        }
+    }
+
+    #[test]
+    fn recurrent_models_are_compute_heavy() {
+        // Batched sequence dims must make arithmetic intensity high enough
+        // that double buffering can hide memory traffic (paper §V-C: med
+        // and tx show no degradation at one NPU).
+        for m in [melody_extraction(), text_generation()] {
+            let macs = m.total_macs() as f64;
+            let bytes = m.footprint_bytes() as f64;
+            assert!(
+                macs / bytes > 100.0,
+                "{}: arithmetic intensity too low ({:.1})",
+                m.name,
+                macs / bytes
+            );
+        }
+    }
+
+    #[test]
+    fn ds2_conv_frontend_shapes() {
+        let m = deepspeech2();
+        // conv1: (161-41)/2+1 = 61, (200-11)/2+1 = 95.
+        assert_eq!(m.layers[0].kind.out_shape(), (32, 61, 95));
+        // conv2: (61-21)/2+1 = 21, (95-11)/2+1 = 43.
+        assert_eq!(m.layers[1].kind.out_shape(), (32, 21, 43));
+    }
+
+    #[test]
+    fn text_generation_has_embedding() {
+        let m = text_generation();
+        assert!(matches!(
+            m.layers[0].kind,
+            crate::LayerKind::Embedding { vocab: 256, dim: 256, seq: 512 }
+        ));
+    }
+}

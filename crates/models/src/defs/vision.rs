@@ -1,0 +1,338 @@
+//! The CNN benchmarks: goo, mob, yt, alex, rcnn, df, res, agz.
+
+use crate::{Model, ModelBuilder};
+
+/// GoogleNet (Inception v1): stem + 9 inception modules.
+///
+/// Pool-projection branches are modelled as 1×1 convolutions on the module
+/// input (our `Pool` layer has no padding, so a stride-1 3×3 pool would
+/// shrink the map); the branch's GEMM shape and output size are identical.
+#[must_use]
+pub fn googlenet() -> Model {
+    let mut b = ModelBuilder::new("goo", "GoogleNet", (3, 224, 224))
+        .conv("conv1", 64, 7, 2, 3)
+        .pool("pool1", 2, 2)
+        .conv("conv2r", 64, 1, 1, 0)
+        .conv("conv2", 192, 3, 1, 1)
+        .pool("pool2", 2, 2);
+
+    // (tag, n1x1, r3x3, n3x3, r5x5, n5x5, pool_proj)
+    let modules: [(&str, u64, u64, u64, u64, u64, u64); 9] = [
+        ("3a", 64, 96, 128, 16, 32, 32),
+        ("3b", 128, 128, 192, 32, 96, 64),
+        ("4a", 192, 96, 208, 16, 48, 64),
+        ("4b", 160, 112, 224, 24, 64, 64),
+        ("4c", 128, 128, 256, 24, 64, 64),
+        ("4d", 112, 144, 288, 32, 64, 64),
+        ("4e", 256, 160, 320, 32, 128, 128),
+        ("5a", 256, 160, 320, 32, 128, 128),
+        ("5b", 384, 192, 384, 48, 128, 128),
+    ];
+    for (i, &(tag, n1, r3, n3, r5, n5, pp)) in modules.iter().enumerate() {
+        // Down-sample between stages 3/4 and 4/5.
+        if tag == "4a" || tag == "5a" {
+            b = b.pool(&format!("pool_{tag}"), 2, 2);
+        }
+        let _ = i;
+        b = inception(b, tag, n1, r3, n3, r5, n5, pp);
+    }
+    b.pool("pool5", 7, 7).fc("fc", 1000).build()
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the module's published parameter list
+fn inception(
+    mut b: ModelBuilder,
+    tag: &str,
+    n1: u64,
+    r3: u64,
+    n3: u64,
+    r5: u64,
+    n5: u64,
+    pp: u64,
+) -> ModelBuilder {
+    let input = b.next_index() - 1;
+    b = b.conv(&format!("inc{tag}_1x1"), n1, 1, 1, 0);
+    let br1 = b.next_index() - 1;
+    b = b
+        .from_layer(input)
+        .conv(&format!("inc{tag}_3x3r"), r3, 1, 1, 0)
+        .conv(&format!("inc{tag}_3x3"), n3, 3, 1, 1);
+    let br2 = b.next_index() - 1;
+    b = b
+        .from_layer(input)
+        .conv(&format!("inc{tag}_5x5r"), r5, 1, 1, 0)
+        .conv(&format!("inc{tag}_5x5"), n5, 5, 1, 2);
+    let br3 = b.next_index() - 1;
+    b = b.from_layer(input).conv(&format!("inc{tag}_pp"), pp, 1, 1, 0);
+    let br4 = b.next_index() - 1;
+    b.concat(&format!("inc{tag}_cat"), &[br1, br2, br3, br4])
+}
+
+/// MobileNet v1: standard depthwise-separable stack.
+#[must_use]
+pub fn mobilenet() -> Model {
+    let mut b = ModelBuilder::new("mob", "MobileNet", (3, 224, 224)).conv("conv1", 32, 3, 2, 1);
+    // (pointwise out channels, depthwise stride)
+    let blocks: [(u64, u64); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, &(out_c, stride)) in blocks.iter().enumerate() {
+        b = b
+            .dwconv(&format!("dw{}", i + 1), 3, stride, 1)
+            .conv(&format!("pw{}", i + 1), out_c, 1, 1, 0);
+    }
+    b.pool("gap", 7, 7).fc("fc", 1000).build()
+}
+
+/// Tiny-YOLO: the small single-shot detector.
+#[must_use]
+pub fn yolo_tiny() -> Model {
+    ModelBuilder::new("yt", "Yolo-tiny", (3, 416, 416))
+        .conv("conv1", 16, 3, 1, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 32, 3, 1, 1)
+        .pool("pool2", 2, 2)
+        .conv("conv3", 64, 3, 1, 1)
+        .pool("pool3", 2, 2)
+        .conv("conv4", 128, 3, 1, 1)
+        .pool("pool4", 2, 2)
+        .conv("conv5", 256, 3, 1, 1)
+        .pool("pool5", 2, 2)
+        .conv("conv6", 512, 3, 1, 1)
+        .conv("conv7", 1024, 3, 1, 1)
+        .conv("conv8", 256, 1, 1, 0)
+        .conv("conv9", 125, 1, 1, 0)
+        .build()
+}
+
+/// AlexNet convolutional layers (the SCALE-Sim topology is conv-only, which
+/// is what matches the paper's 11.7 MB footprint — the FC stack alone would
+/// be 120 MB).
+#[must_use]
+pub fn alexnet() -> Model {
+    ModelBuilder::new("alex", "AlexNet", (3, 227, 227))
+        .conv("conv1", 96, 11, 4, 0)
+        .pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1, 2)
+        .pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1)
+        .conv("conv4", 384, 3, 1, 1)
+        .conv("conv5", 256, 3, 1, 1)
+        .pool("pool5", 3, 2)
+        .build()
+}
+
+/// FasterRCNN: VGG16 convolutional backbone plus 1×1 detection heads.
+#[must_use]
+pub fn faster_rcnn() -> Model {
+    ModelBuilder::new("rcnn", "FasterRCNN", (3, 224, 224))
+        .conv("conv1_1", 64, 3, 1, 1)
+        .conv("conv1_2", 64, 3, 1, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2_1", 128, 3, 1, 1)
+        .conv("conv2_2", 128, 3, 1, 1)
+        .pool("pool2", 2, 2)
+        .conv("conv3_1", 256, 3, 1, 1)
+        .conv("conv3_2", 256, 3, 1, 1)
+        .conv("conv3_3", 256, 3, 1, 1)
+        .pool("pool3", 2, 2)
+        .conv("conv4_1", 512, 3, 1, 1)
+        .conv("conv4_2", 512, 3, 1, 1)
+        .conv("conv4_3", 512, 3, 1, 1)
+        .pool("pool4", 2, 2)
+        .conv("conv5_1", 512, 3, 1, 1)
+        .conv("conv5_2", 512, 3, 1, 1)
+        .conv("conv5_3", 512, 3, 1, 1)
+        .conv("rpn_cls", 18, 1, 1, 0)
+        .build()
+}
+
+/// DeepFace front-end; the locally-connected L4–L6 layers are modelled as
+/// convolutions of the same kernel/channel shape (identical GEMM and tensor
+/// sizes; locally-connected weights would be larger, but the SCALE-Sim
+/// topology models them as convolutions too, matching the 2.2 MB
+/// footprint).
+#[must_use]
+pub fn deepface() -> Model {
+    ModelBuilder::new("df", "DeepFace", (3, 152, 152))
+        .conv("c1", 32, 11, 1, 0)
+        .pool("m2", 2, 2)
+        .conv("c3", 16, 9, 1, 0)
+        .conv("l4", 16, 9, 1, 0)
+        .conv("l5", 16, 7, 1, 0)
+        .conv("l6", 16, 5, 1, 0)
+        .build()
+}
+
+/// ResNet50 with its residual adds (the running example of the paper's
+/// Figs. 7 and 13).
+#[must_use]
+pub fn resnet50() -> Model {
+    let mut b = ModelBuilder::new("res", "Resnet50", (3, 224, 224))
+        .conv("conv1", 64, 7, 2, 3)
+        .pool("pool1", 2, 2);
+    // (stage, mid channels, out channels, blocks, first stride)
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
+    for (s, &(mid, out, blocks, first_stride)) in stages.iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if blk == 0 { first_stride } else { 1 };
+            let tag = format!("s{}b{}", s + 2, blk + 1);
+            b = bottleneck(b, &tag, mid, out, stride, blk == 0);
+        }
+    }
+    b.pool("gap", 7, 7).fc("fc", 1000).build()
+}
+
+fn bottleneck(
+    mut b: ModelBuilder,
+    tag: &str,
+    mid: u64,
+    out: u64,
+    stride: u64,
+    downsample: bool,
+) -> ModelBuilder {
+    let input = b.next_index() - 1;
+    b = b
+        .conv(&format!("{tag}_a"), mid, 1, stride, 0)
+        .conv(&format!("{tag}_b"), mid, 3, 1, 1)
+        .conv(&format!("{tag}_c"), out, 1, 1, 0);
+    let trunk = b.next_index() - 1;
+    if downsample {
+        b = b
+            .from_layer(input)
+            .conv(&format!("{tag}_ds"), out, 1, stride, 0)
+            .add(&format!("{tag}_add"), trunk)
+    } else {
+        b = b.add(&format!("{tag}_add"), input);
+    }
+    b
+}
+
+/// AlphaGoZero-style board network: stem + one residual block + heads (the
+/// SCALE-Sim topology is a cut-down tower, matching the 2.2 MB footprint).
+#[must_use]
+pub fn alphagozero() -> Model {
+    let mut b = ModelBuilder::new("agz", "AlphaGoZero", (17, 19, 19)).conv("stem", 192, 3, 1, 1);
+    let stem = b.next_index() - 1;
+    b = b
+        .conv("res1_a", 192, 3, 1, 1)
+        .conv("res1_b", 192, 3, 1, 1)
+        .add("res1_add", stem);
+    let tower = b.next_index() - 1;
+    b = b
+        .conv("policy_conv", 2, 1, 1, 0)
+        .fc("policy_fc", 362)
+        .from_layer(tower)
+        .conv("value_conv", 1, 1, 1, 0)
+        .fc("value_fc1", 192)
+        .fc("value_fc2", 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vision_models_validate() {
+        for m in [
+            googlenet(),
+            mobilenet(),
+            yolo_tiny(),
+            alexnet(),
+            faster_rcnn(),
+            deepface(),
+            resnet50(),
+            alphagozero(),
+        ] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert!(m.total_macs() > 0, "{} has zero compute", m.name);
+        }
+    }
+
+    #[test]
+    fn footprints_near_table3() {
+        // (model, paper MB, tolerance factor)
+        let mb = |m: &crate::Model| m.footprint_bytes() as f64 / (1 << 20) as f64;
+        // Tolerances are loose: the paper's footprint accounting (Table III)
+        // appears weights-dominated, while ours counts every activation
+        // tensor too; EXPERIMENTS.md tabulates the exact deltas.
+        let cases: [(crate::Model, f64, f64); 8] = [
+            (googlenet(), 15.2, 1.0),
+            (mobilenet(), 11.4, 1.0),
+            (yolo_tiny(), 18.9, 1.0),
+            (alexnet(), 11.7, 1.0),
+            (faster_rcnn(), 29.3, 1.0),
+            (deepface(), 2.2, 1.0),
+            (resnet50(), 41.4, 1.0),
+            (alphagozero(), 2.2, 1.0),
+        ];
+        for (m, paper, tol) in cases {
+            let got = mb(&m);
+            let rel = (got - paper).abs() / paper;
+            assert!(
+                rel <= tol,
+                "{}: computed {got:.1} MB vs paper {paper} MB (rel {rel:.2})",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn resnet50_has_residual_adds() {
+        let m = resnet50();
+        let adds = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::LayerKind::Eltwise { .. }))
+            .count();
+        assert_eq!(adds, 16, "3+4+6+3 bottleneck blocks");
+    }
+
+    #[test]
+    fn googlenet_has_nine_concats() {
+        let m = googlenet();
+        let cats = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::LayerKind::Concat { .. }))
+            .count();
+        assert_eq!(cats, 9);
+    }
+
+    #[test]
+    fn mobilenet_alternates_dw_pw() {
+        let m = mobilenet();
+        let dw = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::LayerKind::DwConv { .. }))
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn resnet50_final_shape() {
+        let m = resnet50();
+        // The layer before gap/fc must be the s5b3 add with 2048x7x7.
+        let add = &m.layers[m.layers.len() - 3];
+        assert_eq!(add.kind.out_elements(), 2048 * 7 * 7);
+    }
+}

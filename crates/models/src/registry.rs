@@ -1,0 +1,90 @@
+//! Lookup of the 14 benchmark models by their short names.
+
+use crate::defs::{attention, sequence, vision};
+use crate::Model;
+
+/// Short names of all 14 models, in the order the paper's figures plot
+/// them (Table III order).
+pub const MODEL_NAMES: [&str; 14] = [
+    "goo", "mob", "yt", "alex", "rcnn", "df", "res", "med", "tx", "agz", "sent", "ds2", "tf",
+    "ncf",
+];
+
+/// Construct the model with the given short name.
+///
+/// # Examples
+///
+/// ```
+/// let res = tnpu_models::registry::model("res").expect("registered");
+/// assert_eq!(res.full_name, "Resnet50");
+/// assert!(tnpu_models::registry::model("nope").is_none());
+/// ```
+#[must_use]
+pub fn model(name: &str) -> Option<Model> {
+    let m = match name {
+        "goo" => vision::googlenet(),
+        "mob" => vision::mobilenet(),
+        "yt" => vision::yolo_tiny(),
+        "alex" => vision::alexnet(),
+        "rcnn" => vision::faster_rcnn(),
+        "df" => vision::deepface(),
+        "res" => vision::resnet50(),
+        "med" => sequence::melody_extraction(),
+        "tx" => sequence::text_generation(),
+        "agz" => vision::alphagozero(),
+        "sent" => attention::sentimental(),
+        "ds2" => sequence::deepspeech2(),
+        "tf" => attention::transformer(),
+        "ncf" => attention::ncf(),
+        _ => return None,
+    };
+    Some(m)
+}
+
+/// All 14 models, in figure order.
+#[must_use]
+pub fn all_models() -> Vec<Model> {
+    MODEL_NAMES
+        .iter()
+        .map(|n| model(n).expect("registered model"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fourteen_resolve_and_validate() {
+        let models = all_models();
+        assert_eq!(models.len(), 14);
+        for m in &models {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn names_match_registry_keys() {
+        for name in MODEL_NAMES {
+            let m = model(name).expect("registered");
+            assert_eq!(m.name, name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(model("resnet101").is_none());
+    }
+
+    #[test]
+    fn suite_average_footprint_near_paper() {
+        // Table III footprints average ~25 MB across the suite; our
+        // reconstructions should land in the same regime.
+        let total: u64 = all_models().iter().map(Model::footprint_bytes).sum();
+        let avg_mb = total as f64 / 14.0 / (1 << 20) as f64;
+        assert!(
+            (15.0..40.0).contains(&avg_mb),
+            "suite average footprint {avg_mb:.1} MB out of range"
+        );
+    }
+}

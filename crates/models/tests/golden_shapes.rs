@@ -1,0 +1,124 @@
+//! Golden shape tests: pin down each network's structure so accidental
+//! edits to the definitions are caught (the figures depend on these
+//! shapes).
+
+use tnpu_models::{registry, LayerKind, Model};
+
+fn model(name: &str) -> Model {
+    registry::model(name).expect("registered")
+}
+
+fn count(m: &Model, pred: fn(&LayerKind) -> bool) -> usize {
+    m.layers.iter().filter(|l| pred(&l.kind)).count()
+}
+
+#[test]
+fn googlenet_structure() {
+    let m = model("goo");
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 3 + 9 * 6);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Concat { .. })), 9);
+    // Final inception output is 1024 channels at 7x7.
+    let last_cat = m
+        .layers
+        .iter()
+        .rev()
+        .find(|l| matches!(l.kind, LayerKind::Concat { .. }))
+        .expect("has concats");
+    assert_eq!(last_cat.kind.out_shape(), (1024, 7, 7));
+}
+
+#[test]
+fn mobilenet_structure() {
+    let m = model("mob");
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::DwConv { .. })), 13);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 14);
+    // Last pointwise output: 1024 x 7 x 7.
+    let pw13 = &m.layers[m.layers.len() - 3];
+    assert_eq!(pw13.kind.out_shape(), (1024, 7, 7));
+}
+
+#[test]
+fn resnet50_structure() {
+    let m = model("res");
+    // 1 stem + 16 blocks x 3 convs + 4 downsample convs + fc.
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 1 + 48 + 4);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Eltwise { .. })), 16);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Fc { .. })), 1);
+    assert_eq!(m.layers.last().expect("fc").kind.out_elements(), 1000);
+}
+
+#[test]
+fn vgg_backbone_structure() {
+    let m = model("rcnn");
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 13 + 1);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Pool { .. })), 4);
+    // conv5_3 keeps 512 x 14 x 14.
+    let conv5_3 = m.layers.iter().find(|l| l.name == "conv5_3").expect("named");
+    assert_eq!(conv5_3.kind.out_shape(), (512, 14, 14));
+}
+
+#[test]
+fn transformer_structure() {
+    let m = model("tf");
+    // embedding + 6 x (6 matmuls + 2 adds) + tied projection.
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::MatMul { .. })), 6 * 6 + 1);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Eltwise { .. })), 12);
+    assert_eq!(count(&m, |k| matches!(k, LayerKind::Embedding { .. })), 1);
+    // Logits cover the vocabulary.
+    assert_eq!(m.layers.last().expect("proj").kind.out_shape(), (32_000, 256, 1));
+}
+
+#[test]
+fn embedding_dimensions() {
+    for (name, vocab, dim, seq) in [
+        ("sent", 88_000, 300, 8192),
+        ("tf", 32_000, 512, 256),
+        ("tx", 256, 256, 512),
+    ] {
+        let m = model(name);
+        let e = m
+            .layers
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Embedding { .. }))
+            .expect("has embedding");
+        assert_eq!(
+            e.kind,
+            LayerKind::Embedding { vocab, dim, seq },
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn recurrent_models_use_batched_matmuls() {
+    for name in ["med", "tx", "ds2"] {
+        let m = model(name);
+        let mm = count(&m, |k| matches!(k, LayerKind::MatMul { .. }));
+        assert!(mm >= 4, "{name} has {mm} matmuls");
+        for l in &m.layers {
+            if let LayerKind::MatMul { m: rows, .. } = l.kind {
+                assert!(rows > 1, "{name}/{}: sequence must be batched", l.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn total_macs_are_stable() {
+    // Pin the compute totals (GMACs) within 1 % so dimension edits are
+    // deliberate.
+    let expected: [(&str, f64); 5] = [
+        ("alex", 1.08),
+        ("res", 3.86),
+        ("rcnn", 15.35),
+        ("tf", 9.43),
+        ("mob", 0.57),
+    ];
+    for (name, gmacs) in expected {
+        let got = model(name).total_macs() as f64 / 1e9;
+        assert!(
+            (got - gmacs).abs() / gmacs < 0.01,
+            "{name}: {got:.3} GMACs vs pinned {gmacs}"
+        );
+    }
+}

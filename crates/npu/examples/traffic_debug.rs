@@ -1,0 +1,19 @@
+//! Developer tool: metadata-traffic composition per scheme (counter /
+//! tree / MAC / version split).
+//! `cargo run --release -p tnpu-npu --example traffic_debug`
+
+fn main() {
+    for name in ["df", "goo", "sent"] {
+        let m = tnpu_models::registry::model(name).unwrap();
+        let cfg = tnpu_npu::NpuConfig::small_npu();
+        for scheme in [tnpu_memprot::SchemeKind::TreeBased, tnpu_memprot::SchemeKind::Treeless] {
+            let r = tnpu_npu::simulate(&m, &cfg, scheme);
+            let d = r.data_traffic() as f64;
+            let t = r.engine.traffic;
+            println!("{name:5} {:9} data {:6.1}MB  ctr {:5.2}% tree {:5.2}% mac {:5.2}% ver {:5.2}%  (vmiss {} / vacc {})",
+                scheme.label(), d/1e6,
+                t.counter as f64/d*100.0, t.tree as f64/d*100.0, t.mac as f64/d*100.0, t.version as f64/d*100.0,
+                r.engine.events.get("version_miss"), r.engine.events.get("version_access"));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! DMA transfer descriptors and their 64 B block streams.
+//!
+//! A `mvin`/`mvout` instruction moves one tile between DRAM and the SPM.
+//! Tiles of row-major matrices are 2-D slabs: `rows` segments of
+//! `row_bytes`, `stride` apart. The *stride* is what produces the paper's
+//! fine-grained behaviour: a tile of a matrix with a large row stride (a
+//! vocabulary-sized projection, an embedding gather) touches a different
+//! counter/MAC block region on every row.
+
+use tnpu_sim::{blocks_covering, Addr, BlockAddr};
+
+/// Address pattern of one DMA transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaPattern {
+    /// One contiguous byte range.
+    Contiguous {
+        /// Start address.
+        base: Addr,
+        /// Length in bytes.
+        bytes: u64,
+    },
+    /// `rows` segments of `row_bytes`, starting `stride` apart.
+    Strided {
+        /// First segment address.
+        base: Addr,
+        /// Number of segments.
+        rows: u64,
+        /// Bytes per segment.
+        row_bytes: u64,
+        /// Distance between segment starts.
+        stride: u64,
+    },
+    /// Arbitrary same-length segments (embedding gathers).
+    Scattered {
+        /// Segment start addresses.
+        rows: Vec<Addr>,
+        /// Bytes per segment.
+        row_bytes: u64,
+    },
+}
+
+impl DmaPattern {
+    /// Total payload bytes moved.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            DmaPattern::Contiguous { bytes, .. } => *bytes,
+            DmaPattern::Strided {
+                rows, row_bytes, ..
+            } => rows * row_bytes,
+            DmaPattern::Scattered { rows, row_bytes } => rows.len() as u64 * row_bytes,
+        }
+    }
+
+    /// The distinct 64 B blocks this transfer touches, in access order.
+    /// Segments that share a block (contiguous rows) still produce one
+    /// access per segment-block pair only when the block changes, mirroring
+    /// a DMA engine that coalesces sequential block accesses.
+    pub fn for_each_block(&self, mut f: impl FnMut(BlockAddr)) {
+        let mut last: Option<BlockAddr> = None;
+        let mut visit = |b: BlockAddr, f: &mut dyn FnMut(BlockAddr)| {
+            if last != Some(b) {
+                f(b);
+                last = Some(b);
+            }
+        };
+        match self {
+            DmaPattern::Contiguous { base, bytes } => {
+                for b in blocks_covering(*base, *bytes) {
+                    visit(b, &mut f);
+                }
+            }
+            DmaPattern::Strided {
+                base,
+                rows,
+                row_bytes,
+                stride,
+            } => {
+                for r in 0..*rows {
+                    let start = base.offset(r * stride);
+                    for b in blocks_covering(start, *row_bytes) {
+                        visit(b, &mut f);
+                    }
+                }
+            }
+            DmaPattern::Scattered { rows, row_bytes } => {
+                for start in rows {
+                    for b in blocks_covering(*start, *row_bytes) {
+                        visit(b, &mut f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of block accesses this transfer performs.
+    #[must_use]
+    pub fn block_count(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_block(|_| n += 1);
+        n
+    }
+}
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// DRAM → SPM (`mvin`).
+    Read,
+    /// SPM → DRAM (`mvout`).
+    Write,
+}
+
+/// One `mvin`/`mvout`: an address pattern plus the security identifiers the
+/// CPU-side software supplies (tensor/tile id and version number, §IV-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Address pattern.
+    pub pattern: DmaPattern,
+    /// Direction.
+    pub dir: Dir,
+    /// Tensor this transfer belongs to (version-table index).
+    pub tensor_id: u32,
+    /// Tile within the tensor (version-table sub-index).
+    pub tile_id: u32,
+    /// Version number passed to the MAC generator/verifier.
+    pub version: u64,
+}
+
+impl Transfer {
+    /// Payload bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.pattern.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_blocks() {
+        let p = DmaPattern::Contiguous {
+            base: Addr(0),
+            bytes: 256,
+        };
+        assert_eq!(p.bytes(), 256);
+        assert_eq!(p.block_count(), 4);
+    }
+
+    #[test]
+    fn strided_rows_hit_separate_blocks() {
+        // 4 rows of 64 B, 4 KB apart: four distinct blocks.
+        let p = DmaPattern::Strided {
+            base: Addr(0),
+            rows: 4,
+            row_bytes: 64,
+            stride: 4096,
+        };
+        let mut blocks = Vec::new();
+        p.for_each_block(|b| blocks.push(b));
+        assert_eq!(
+            blocks,
+            vec![BlockAddr(0), BlockAddr(64), BlockAddr(128), BlockAddr(192)]
+        );
+    }
+
+    #[test]
+    fn adjacent_rows_coalesce() {
+        // 4 rows of 16 B, 16 B apart = one contiguous 64 B region: the DMA
+        // coalesces into a single block access.
+        let p = DmaPattern::Strided {
+            base: Addr(0),
+            rows: 4,
+            row_bytes: 16,
+            stride: 16,
+        };
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.bytes(), 64);
+    }
+
+    #[test]
+    fn unaligned_row_spans_two_blocks() {
+        let p = DmaPattern::Strided {
+            base: Addr(32),
+            rows: 2,
+            row_bytes: 64,
+            stride: 4096,
+        };
+        assert_eq!(p.block_count(), 4);
+    }
+
+    #[test]
+    fn scattered_rows() {
+        let p = DmaPattern::Scattered {
+            rows: vec![Addr(0), Addr(8192), Addr(128)],
+            row_bytes: 128,
+        };
+        assert_eq!(p.bytes(), 384);
+        assert_eq!(p.block_count(), 6);
+    }
+
+    #[test]
+    fn zero_byte_pattern_touches_nothing() {
+        let p = DmaPattern::Contiguous {
+            base: Addr(0),
+            bytes: 0,
+        };
+        assert_eq!(p.block_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Analytical timing of the weight-stationary systolic array
+//! (SCALE-Sim-style).
+//!
+//! A GEMM tile `Mt × Kt × Nt` maps its `Kt × Nt` weight panel onto the
+//! `R × C` array in `⌈Kt/R⌉ · ⌈Nt/C⌉` folds. Per fold the array preloads
+//! weights (R cycles) and streams the `Mt` activation rows through the
+//! pipeline (`Mt + R + C − 2` cycles of fill/steady/drain):
+//!
+//! ```text
+//! cycles(tile) = ⌈Kt/R⌉ · ⌈Nt/C⌉ · (Mt + 2R + C − 2)
+//! ```
+//!
+//! Non-GEMM layers use a vector-engine approximation of `elements / C`
+//! cycles (one lane per array column), scaled by the pooling window where
+//! applicable.
+
+use crate::config::NpuConfig;
+use tnpu_sim::Cycles;
+
+/// Cycles to compute one GEMM tile on the array.
+///
+/// # Panics
+///
+/// Panics if any tile dimension is zero.
+#[must_use]
+pub fn gemm_tile_cycles(npu: &NpuConfig, mt: u64, kt: u64, nt: u64) -> Cycles {
+    assert!(mt > 0 && kt > 0 && nt > 0, "degenerate tile {mt}x{kt}x{nt}");
+    let folds = kt.div_ceil(npu.rows) * nt.div_ceil(npu.cols);
+    Cycles(folds * (mt + 2 * npu.rows + npu.cols - 2))
+}
+
+/// Cycles for an elementwise op over `elements` (residual adds).
+#[must_use]
+pub fn eltwise_cycles(npu: &NpuConfig, elements: u64) -> Cycles {
+    Cycles(elements.div_ceil(npu.cols))
+}
+
+/// Cycles for pooling over `in_elements` inputs: the vector engine reads
+/// each input element once (one lane per array column), regardless of the
+/// window size — overlapping windows reuse on-chip data.
+#[must_use]
+pub fn pool_cycles(npu: &NpuConfig, in_elements: u64) -> Cycles {
+    Cycles(in_elements.div_ceil(npu.cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fold_tile() {
+        let npu = NpuConfig::small_npu(); // 32x32
+        // Kt=32, Nt=32 -> one fold; Mt=100 -> 100 + 64 + 32 - 2 = 194.
+        assert_eq!(gemm_tile_cycles(&npu, 100, 32, 32), Cycles(194));
+    }
+
+    #[test]
+    fn folds_scale_linearly() {
+        let npu = NpuConfig::small_npu();
+        let one = gemm_tile_cycles(&npu, 64, 32, 32);
+        let four = gemm_tile_cycles(&npu, 64, 64, 64);
+        assert_eq!(four.0, one.0 * 4);
+    }
+
+    #[test]
+    fn partial_fold_rounds_up() {
+        let npu = NpuConfig::small_npu();
+        assert_eq!(
+            gemm_tile_cycles(&npu, 10, 33, 1),
+            gemm_tile_cycles(&npu, 10, 64, 32)
+        );
+    }
+
+    #[test]
+    fn large_array_is_faster_per_tile() {
+        let small = NpuConfig::small_npu();
+        let large = NpuConfig::large_npu();
+        // A big GEMM folds fewer times on the 45x45 array.
+        let s = gemm_tile_cycles(&small, 256, 512, 512);
+        let l = gemm_tile_cycles(&large, 256, 512, 512);
+        assert!(l < s);
+    }
+
+    #[test]
+    fn utilization_matches_macs_for_aligned_tiles() {
+        // For array-aligned tiles and large Mt, cycles approach
+        // macs / pes (the array's peak).
+        let npu = NpuConfig::small_npu();
+        let (mt, kt, nt) = (4096, 256, 256);
+        let cycles = gemm_tile_cycles(&npu, mt, kt, nt).0 as f64;
+        let ideal = (mt * kt * nt) as f64 / npu.pes() as f64;
+        let efficiency = ideal / cycles;
+        assert!(efficiency > 0.95, "efficiency {efficiency}");
+    }
+
+    #[test]
+    fn vector_ops() {
+        let npu = NpuConfig::small_npu();
+        assert_eq!(eltwise_cycles(&npu, 64), Cycles(2));
+        assert_eq!(pool_cycles(&npu, 64), Cycles(2));
+        // A global pool is one pass over its input, not out * k^2 work.
+        assert_eq!(pool_cycles(&npu, 49 * 1024), Cycles(1568));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_tile_panics() {
+        let _ = gemm_tile_cycles(&NpuConfig::small_npu(), 0, 1, 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Generic set-associative, write-back, LRU cache model.
+//!
+//! Used for the security-metadata caches (counter cache, hash cache, MAC
+//! cache) and for TLBs. The model tracks tags only — data contents live in
+//! the functional layer of the memory-protection crate.
+
+use crate::Addr;
+
+/// What kind of access is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read; a miss allocates a clean line.
+    Read,
+    /// A write; a miss allocates (write-allocate) and marks the line dirty.
+    Write,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated. If a dirty victim was
+    /// evicted, its base address is reported so the caller can account for
+    /// the write-back traffic.
+    Miss {
+        /// Base address of the evicted dirty line, if any.
+        writeback: Option<Addr>,
+    },
+}
+
+impl CacheOutcome {
+    /// `true` if the access hit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+
+    /// `true` if the access missed.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// The dirty victim evicted by this access, if any.
+    #[must_use]
+    pub fn writeback(self) -> Option<Addr> {
+        match self {
+            CacheOutcome::Hit => None,
+            CacheOutcome::Miss { writeback } => writeback,
+        }
+    }
+}
+
+/// Static geometry of a [`Cache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in statistics dumps.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line_size: usize,
+}
+
+impl CacheConfig {
+    /// Create a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate: zero capacity/ways, line size
+    /// not a power of two, or capacity not divisible by `ways * line_size`.
+    #[must_use]
+    pub fn new(name: &str, capacity: usize, ways: usize, line_size: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        assert!(ways > 0, "cache ways must be non-zero");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            capacity.is_multiple_of(ways * line_size),
+            "capacity {capacity} not divisible by ways*line {}",
+            ways * line_size
+        );
+        CacheConfig {
+            name: name.to_owned(),
+            capacity,
+            ways,
+            line_size,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line_size)
+    }
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another stats record into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Monotone recency stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_sim::cache::{Cache, CacheConfig, AccessKind};
+/// use tnpu_sim::Addr;
+///
+/// let mut c = Cache::new(CacheConfig::new("mac", 8192, 8, 64));
+/// assert!(c.access(Addr(0), AccessKind::Write).is_miss());
+/// assert!(c.access(Addr(32), AccessKind::Read).is_hit()); // same line
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![Vec::with_capacity(config.ways); config.sets()];
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drop all contents and statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    fn index(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.0 / self.config.line_size as u64;
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Access the line containing `addr`.
+    ///
+    /// On a miss the line is allocated (write-allocate for both kinds); if a
+    /// dirty victim is evicted, its base address is returned in the outcome
+    /// so the caller can account for write-back traffic.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> CacheOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways;
+        let line_size = self.config.line_size as u64;
+        let sets = self.sets.len() as u64;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        self.stats.misses += 1;
+        let mut writeback = None;
+        if set.len() >= ways {
+            // Evict LRU.
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                let line_no = victim.tag * sets + set_idx as u64;
+                writeback = Some(Addr(line_no * line_size));
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: kind == AccessKind::Write,
+            lru: tick,
+        });
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Whether the line containing `addr` is currently resident (no state
+    /// change, no statistics update).
+    #[must_use]
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidate the line containing `addr` if resident. Returns the base
+    /// address of the line if it was dirty (caller accounts the write-back).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Addr> {
+        let line_size = self.config.line_size as u64;
+        let sets = self.sets.len() as u64;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let victim = set.swap_remove(pos);
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                let line_no = victim.tag * sets + set_idx as u64;
+                return Some(Addr(line_no * line_size));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets x 2 ways x 64 B = 256 B
+        Cache::new(CacheConfig::new("t", 256, 2, 64))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().sets(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheConfig::new("t", 256, 2, 48);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = small();
+        assert!(c.access(Addr(0), AccessKind::Read).is_miss());
+        assert!(c.access(Addr(63), AccessKind::Read).is_hit());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 holds lines with even line numbers: 0, 2, 4 (addresses 0, 128, 256).
+        c.access(Addr(0), AccessKind::Read);
+        c.access(Addr(128), AccessKind::Read);
+        // Touch line 0 so line 128's line becomes LRU.
+        c.access(Addr(0), AccessKind::Read);
+        // Allocate third line in set 0 -> evicts 128.
+        c.access(Addr(256), AccessKind::Read);
+        assert!(c.probe(Addr(0)));
+        assert!(!c.probe(Addr(128)));
+        assert!(c.probe(Addr(256)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Write);
+        c.access(Addr(128), AccessKind::Read);
+        let out = c.access(Addr(256), AccessKind::Read);
+        // LRU victim is line at 0, which is dirty.
+        assert_eq!(out.writeback(), Some(Addr(0)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Read);
+        c.access(Addr(128), AccessKind::Read);
+        let out = c.access(Addr(256), AccessKind::Read);
+        assert_eq!(out.writeback(), None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Read);
+        c.access(Addr(0), AccessKind::Write);
+        c.access(Addr(128), AccessKind::Read);
+        let out = c.access(Addr(256), AccessKind::Read);
+        assert_eq!(out.writeback(), Some(Addr(0)));
+    }
+
+    #[test]
+    fn invalidate_dirty_reports_address() {
+        let mut c = small();
+        c.access(Addr(192), AccessKind::Write); // line 3, set 1
+        assert_eq!(c.invalidate(Addr(192)), Some(Addr(192)));
+        assert!(!c.probe(Addr(192)));
+        assert_eq!(c.invalidate(Addr(192)), None);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Write);
+        c.flush();
+        assert!(!c.probe(Addr(0)));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Read);
+        c.access(Addr(0), AccessKind::Read);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small();
+        // Fill set 0 beyond capacity; set 1 must be untouched.
+        for i in 0..4u64 {
+            c.access(Addr(i * 128), AccessKind::Read);
+        }
+        c.access(Addr(64), AccessKind::Read); // set 1
+        assert!(c.probe(Addr(64)));
+    }
+}

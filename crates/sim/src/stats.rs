@@ -1,0 +1,172 @@
+//! Traffic and event statistics shared by the memory-protection engines and
+//! the NPU simulator.
+
+use std::collections::BTreeMap;
+
+/// Byte counters for DRAM traffic, split by purpose.
+///
+/// `data` is the traffic an unprotected NPU would generate; the `meta`
+/// categories are the security-metadata overhead the paper's Figure 15
+/// reports (counters, tree nodes, MACs, version-table accesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TrafficStats {
+    /// Payload bytes read from DRAM.
+    pub data_read: u64,
+    /// Payload bytes written to DRAM.
+    pub data_write: u64,
+    /// Counter-block bytes transferred (tree-based engine).
+    pub counter: u64,
+    /// Integrity-tree node bytes transferred (tree-based engine).
+    pub tree: u64,
+    /// MAC bytes transferred (both engines).
+    pub mac: u64,
+    /// Version-table bytes transferred to/from the fully-protected region
+    /// (tree-less engine).
+    pub version: u64,
+}
+
+impl TrafficStats {
+    /// All payload traffic.
+    #[must_use]
+    pub fn data(&self) -> u64 {
+        self.data_read + self.data_write
+    }
+
+    /// All security-metadata traffic.
+    #[must_use]
+    pub fn metadata(&self) -> u64 {
+        self.counter + self.tree + self.mac + self.version
+    }
+
+    /// Total DRAM traffic.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.data() + self.metadata()
+    }
+
+    /// Accumulate another record into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.data_read += other.data_read;
+        self.data_write += other.data_write;
+        self.counter += other.counter;
+        self.tree += other.tree;
+        self.mac += other.mac;
+        self.version += other.version;
+    }
+}
+
+impl std::fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data {} B (r {} / w {}), ctr {} B, tree {} B, mac {} B, ver {} B",
+            self.data(),
+            self.data_read,
+            self.data_write,
+            self.counter,
+            self.tree,
+            self.mac,
+            self.version
+        )
+    }
+}
+
+/// A named bag of monotonically increasing event counters.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_sim::stats::EventCounters;
+/// let mut ev = EventCounters::default();
+/// ev.add("tree_walk", 2);
+/// ev.add("tree_walk", 1);
+/// assert_eq!(ev.get("tree_walk"), 3);
+/// assert_eq!(ev.get("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EventCounters {
+    counters: BTreeMap<String, u64>,
+}
+
+impl EventCounters {
+    /// Increment `name` by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (zero if never incremented).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Accumulate another record into this one.
+    pub fn merge(&mut self, other: &EventCounters) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let t = TrafficStats {
+            data_read: 100,
+            data_write: 50,
+            counter: 10,
+            tree: 5,
+            mac: 20,
+            version: 1,
+        };
+        assert_eq!(t.data(), 150);
+        assert_eq!(t.metadata(), 36);
+        assert_eq!(t.total(), 186);
+    }
+
+    #[test]
+    fn traffic_merge() {
+        let mut a = TrafficStats::default();
+        let b = TrafficStats {
+            data_read: 1,
+            data_write: 2,
+            counter: 3,
+            tree: 4,
+            mac: 5,
+            version: 6,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.total(), 2 * b.total());
+    }
+
+    #[test]
+    fn event_counters_merge() {
+        let mut a = EventCounters::default();
+        a.add("x", 1);
+        let mut b = EventCounters::default();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn traffic_display_mentions_all_categories() {
+        let t = TrafficStats::default();
+        let s = t.to_string();
+        for key in ["data", "ctr", "tree", "mac", "ver"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

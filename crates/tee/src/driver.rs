@@ -1,0 +1,203 @@
+//! The protected NPU driver enclave (paper §IV-A).
+//!
+//! "The NPU driver which controls NPUs must be running in a CPU driver
+//! enclave. The OS can only send requests to the protected driver." The
+//! driver owns the NPU MMIO path; user enclaves ask the driver for an NPU
+//! context, and only the context's owner may issue commands on it.
+
+use crate::EnclaveId;
+use std::collections::HashMap;
+
+/// A command the CPU-side software issues to the NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpuCommand {
+    /// Load data from memory into the SPM, with the expected version.
+    Mvin {
+        /// Version number for MAC verification.
+        version: u64,
+    },
+    /// Write SPM data back to memory, with the new version.
+    Mvout {
+        /// Version number for MAC generation.
+        version: u64,
+    },
+    /// Run the systolic array on SPM-resident data.
+    Compute,
+}
+
+/// Errors of the driver protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// All NPUs are assigned.
+    NoFreeNpu,
+    /// The NPU id is out of range.
+    NoSuchNpu(usize),
+    /// The caller does not own the NPU context.
+    NotOwner {
+        /// Who asked.
+        caller: EnclaveId,
+        /// The NPU in question.
+        npu: usize,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::NoFreeNpu => write!(f, "no free npu"),
+            DriverError::NoSuchNpu(i) => write!(f, "npu {i} does not exist"),
+            DriverError::NotOwner { caller, npu } => {
+                write!(f, "{caller} does not own npu {npu}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The driver enclave: tracks NPU-context ownership and gates commands.
+#[derive(Debug)]
+pub struct NpuDriverEnclave {
+    /// The driver's own enclave identity (attested separately, §IV-E).
+    pub id: EnclaveId,
+    npu_count: usize,
+    contexts: HashMap<usize, EnclaveId>,
+    commands_issued: u64,
+}
+
+impl NpuDriverEnclave {
+    /// A driver managing `npu_count` NPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npu_count` is zero.
+    #[must_use]
+    pub fn new(id: EnclaveId, npu_count: usize) -> Self {
+        assert!(npu_count > 0, "need at least one NPU");
+        NpuDriverEnclave {
+            id,
+            npu_count,
+            contexts: HashMap::new(),
+            commands_issued: 0,
+        }
+    }
+
+    /// A user enclave requests an NPU context.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoFreeNpu`] when all NPUs are assigned.
+    pub fn acquire(&mut self, caller: EnclaveId) -> Result<usize, DriverError> {
+        let npu = (0..self.npu_count)
+            .find(|i| !self.contexts.contains_key(i))
+            .ok_or(DriverError::NoFreeNpu)?;
+        self.contexts.insert(npu, caller);
+        Ok(npu)
+    }
+
+    /// Release an NPU context (owner only).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError`] on unknown NPU or wrong owner.
+    pub fn release(&mut self, caller: EnclaveId, npu: usize) -> Result<(), DriverError> {
+        match self.contexts.get(&npu) {
+            None => Err(DriverError::NoSuchNpu(npu)),
+            Some(&owner) if owner != caller => Err(DriverError::NotOwner { caller, npu }),
+            Some(_) => {
+                self.contexts.remove(&npu);
+                Ok(())
+            }
+        }
+    }
+
+    /// Issue a command on an NPU context — only the owner may.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError`] on unknown NPU or wrong owner.
+    pub fn issue(
+        &mut self,
+        caller: EnclaveId,
+        npu: usize,
+        _command: NpuCommand,
+    ) -> Result<(), DriverError> {
+        if npu >= self.npu_count {
+            return Err(DriverError::NoSuchNpu(npu));
+        }
+        match self.contexts.get(&npu) {
+            Some(&owner) if owner == caller => {
+                self.commands_issued += 1;
+                Ok(())
+            }
+            Some(_) | None => Err(DriverError::NotOwner { caller, npu }),
+        }
+    }
+
+    /// Commands successfully issued so far.
+    #[must_use]
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued
+    }
+
+    /// The enclave owning an NPU, if any.
+    #[must_use]
+    pub fn owner_of(&self, npu: usize) -> Option<EnclaveId> {
+        self.contexts.get(&npu).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DRIVER: EnclaveId = EnclaveId(0);
+    const USER: EnclaveId = EnclaveId(1);
+    const OTHER: EnclaveId = EnclaveId(2);
+
+    #[test]
+    fn acquire_issue_release() {
+        let mut d = NpuDriverEnclave::new(DRIVER, 2);
+        let npu = d.acquire(USER).expect("free npu");
+        d.issue(USER, npu, NpuCommand::Mvin { version: 1 }).expect("owner");
+        d.issue(USER, npu, NpuCommand::Compute).expect("owner");
+        assert_eq!(d.commands_issued(), 2);
+        d.release(USER, npu).expect("owner");
+        assert_eq!(d.owner_of(npu), None);
+    }
+
+    #[test]
+    fn non_owner_cannot_issue() {
+        let mut d = NpuDriverEnclave::new(DRIVER, 1);
+        let npu = d.acquire(USER).expect("free npu");
+        assert_eq!(
+            d.issue(OTHER, npu, NpuCommand::Compute),
+            Err(DriverError::NotOwner { caller: OTHER, npu })
+        );
+        assert_eq!(d.commands_issued(), 0);
+    }
+
+    #[test]
+    fn non_owner_cannot_release() {
+        let mut d = NpuDriverEnclave::new(DRIVER, 1);
+        let npu = d.acquire(USER).expect("free npu");
+        assert!(d.release(OTHER, npu).is_err());
+        assert_eq!(d.owner_of(npu), Some(USER));
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut d = NpuDriverEnclave::new(DRIVER, 1);
+        d.acquire(USER).expect("free npu");
+        assert_eq!(d.acquire(OTHER), Err(DriverError::NoFreeNpu));
+    }
+
+    #[test]
+    fn out_of_range_npu() {
+        let mut d = NpuDriverEnclave::new(DRIVER, 1);
+        assert_eq!(
+            d.issue(USER, 5, NpuCommand::Compute),
+            Err(DriverError::NoSuchNpu(5))
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The Extended EPCM (EEPCM): a flat inverse page map covering the entire
+//! physical memory (paper §IV-B).
+//!
+//! SGX's EPCM covers only the EPC; TNPU extends it because NPU tensors live
+//! *outside* the fixed fully-protected region. For each physical page the
+//! EEPCM records whether it is free, an EPC page, or a tree-less protected
+//! page, and for protected pages: the owner enclave, the virtual page it
+//! must be mapped at, and its permissions. The hardware consults this map
+//! on every TLB miss (CPU MMU and NPU IOMMU alike).
+
+use crate::{AccessError, Access, EnclaveId, Perms, Ppn, Vpn};
+use std::collections::HashMap;
+
+/// State of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Unassigned, ordinary OS-managed memory.
+    Free,
+    /// Owned by an enclave; protected (EPC or tree-less region).
+    Protected {
+        /// Owning enclave.
+        owner: EnclaveId,
+        /// The only virtual page this physical page may be mapped at.
+        vpn: Vpn,
+        /// Permissions.
+        perms: Perms,
+        /// Whether MAC generation/verification is enabled for the page
+        /// ("MAC generation and verification can be selectively turned on
+        /// or off, depending on the page status set in EEPCM", §IV-C).
+        mac_enabled: bool,
+    },
+}
+
+/// The inverse page map, indexed by physical page number.
+#[derive(Debug, Clone, Default)]
+pub struct Eepcm {
+    pages: HashMap<u64, PageState>,
+}
+
+impl Eepcm {
+    /// Empty map (all pages free).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State of a physical page.
+    #[must_use]
+    pub fn state(&self, ppn: Ppn) -> PageState {
+        self.pages.get(&ppn.0).copied().unwrap_or(PageState::Free)
+    }
+
+    /// Assign a free physical page to `owner`, fixed at virtual page `vpn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current owner if the page is already protected.
+    pub fn assign(
+        &mut self,
+        ppn: Ppn,
+        owner: EnclaveId,
+        vpn: Vpn,
+        perms: Perms,
+        mac_enabled: bool,
+    ) -> Result<(), EnclaveId> {
+        match self.state(ppn) {
+            PageState::Free => {
+                self.pages.insert(
+                    ppn.0,
+                    PageState::Protected {
+                        owner,
+                        vpn,
+                        perms,
+                        mac_enabled,
+                    },
+                );
+                Ok(())
+            }
+            PageState::Protected { owner: cur, .. } => Err(cur),
+        }
+    }
+
+    /// Release a page owned by `owner` back to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is not owned by `owner`.
+    pub fn release(&mut self, ppn: Ppn, owner: EnclaveId) -> Result<(), AccessError> {
+        match self.state(ppn) {
+            PageState::Protected { owner: cur, .. } if cur == owner => {
+                self.pages.remove(&ppn.0);
+                Ok(())
+            }
+            _ => Err(AccessError::WrongOwner { ppn }),
+        }
+    }
+
+    /// The validation step of Fig. 11: check that mapping `vpn → ppn` used
+    /// by `owner` for `access` is consistent with the page's EEPCM entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`AccessError::UnprotectedPage`] — the OS mapped a protected
+    ///   virtual page to an unprotected frame.
+    /// * [`AccessError::WrongOwner`] — the frame belongs to another
+    ///   enclave.
+    /// * [`AccessError::RemapDetected`] — the frame is the enclave's but
+    ///   recorded for a different virtual page.
+    /// * [`AccessError::PermissionDenied`] — permissions forbid `access`.
+    pub fn validate(
+        &self,
+        owner: EnclaveId,
+        vpn: Vpn,
+        ppn: Ppn,
+        access: Access,
+    ) -> Result<(), AccessError> {
+        match self.state(ppn) {
+            PageState::Free => Err(AccessError::UnprotectedPage { ppn }),
+            PageState::Protected {
+                owner: cur,
+                vpn: expected,
+                perms,
+                ..
+            } => {
+                if cur != owner {
+                    return Err(AccessError::WrongOwner { ppn });
+                }
+                if expected != vpn {
+                    return Err(AccessError::RemapDetected { expected, got: vpn });
+                }
+                if !perms.allows(access) {
+                    return Err(AccessError::PermissionDenied { access });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of protected pages.
+    #[must_use]
+    pub fn protected_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E1: EnclaveId = EnclaveId(1);
+    const E2: EnclaveId = EnclaveId(2);
+
+    fn map_with_page() -> Eepcm {
+        let mut m = Eepcm::new();
+        m.assign(Ppn(100), E1, Vpn(7), Perms::RW, true).expect("free page");
+        m
+    }
+
+    #[test]
+    fn assign_and_validate() {
+        let m = map_with_page();
+        m.validate(E1, Vpn(7), Ppn(100), Access::Read).expect("valid");
+        m.validate(E1, Vpn(7), Ppn(100), Access::Write).expect("valid");
+    }
+
+    #[test]
+    fn double_assign_rejected() {
+        let mut m = map_with_page();
+        assert_eq!(
+            m.assign(Ppn(100), E2, Vpn(9), Perms::RW, true),
+            Err(E1)
+        );
+    }
+
+    #[test]
+    fn wrong_owner_detected() {
+        let m = map_with_page();
+        assert_eq!(
+            m.validate(E2, Vpn(7), Ppn(100), Access::Read),
+            Err(AccessError::WrongOwner { ppn: Ppn(100) })
+        );
+    }
+
+    #[test]
+    fn remap_detected() {
+        // The OS points a different virtual page of the same enclave at
+        // the frame — classic page-remapping attack.
+        let m = map_with_page();
+        assert_eq!(
+            m.validate(E1, Vpn(8), Ppn(100), Access::Read),
+            Err(AccessError::RemapDetected {
+                expected: Vpn(7),
+                got: Vpn(8)
+            })
+        );
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut m = Eepcm::new();
+        m.assign(Ppn(5), E1, Vpn(1), Perms::RO, true).expect("free page");
+        assert!(m.validate(E1, Vpn(1), Ppn(5), Access::Read).is_ok());
+        assert_eq!(
+            m.validate(E1, Vpn(1), Ppn(5), Access::Write),
+            Err(AccessError::PermissionDenied {
+                access: Access::Write
+            })
+        );
+    }
+
+    #[test]
+    fn unprotected_page_rejected() {
+        let m = map_with_page();
+        assert_eq!(
+            m.validate(E1, Vpn(7), Ppn(999), Access::Read),
+            Err(AccessError::UnprotectedPage { ppn: Ppn(999) })
+        );
+    }
+
+    #[test]
+    fn release_and_reassign() {
+        let mut m = map_with_page();
+        assert!(m.release(Ppn(100), E2).is_err(), "only owner releases");
+        m.release(Ppn(100), E1).expect("owner releases");
+        assert_eq!(m.protected_pages(), 0);
+        m.assign(Ppn(100), E2, Vpn(3), Perms::RX, false).expect("now free");
+    }
+}

@@ -1,0 +1,253 @@
+//! MMU / IOMMU with a validated TLB (paper Fig. 11).
+//!
+//! The security invariant: *"the TLB must always contain only validated
+//! translation"* (§II-A). A TLB miss walks the (untrusted) page table and
+//! then validates the candidate translation against the EEPCM; only on
+//! success is the entry cached. TLB entries are tagged with the enclave and
+//! access rights they were validated for.
+
+use crate::epcm::Eepcm;
+use crate::pagetable::PageTable;
+use crate::{Access, AccessError, EnclaveId, Perms, Ppn, Vpn};
+use std::collections::HashMap;
+
+/// Statistics of one MMU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// TLB hits.
+    pub hits: u64,
+    /// TLB misses that validated successfully.
+    pub fills: u64,
+    /// Validation failures (attacks or misconfigurations caught).
+    pub faults: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    ppn: Ppn,
+    perms: Perms,
+    stamp: u64,
+}
+
+/// An MMU (for a CPU core) or IOMMU (for an NPU), bound to one enclave
+/// context.
+#[derive(Debug)]
+pub struct Mmu {
+    owner: EnclaveId,
+    capacity: usize,
+    tlb: HashMap<u64, TlbEntry>,
+    tick: u64,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// An MMU serving `owner` with a TLB of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(owner: EnclaveId, capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Mmu {
+            owner,
+            capacity,
+            tlb: HashMap::new(),
+            tick: 0,
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// The enclave this MMU serves.
+    #[must_use]
+    pub fn owner(&self) -> EnclaveId {
+        self.owner
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// Translate `vpn` for `access`, walking `table` and validating
+    /// against `eepcm` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AccessError`] from the EEPCM validation, or
+    /// [`AccessError::NotMapped`] if the OS removed the mapping. Failed
+    /// translations never enter the TLB.
+    pub fn translate(
+        &mut self,
+        table: &PageTable,
+        eepcm: &Eepcm,
+        vpn: Vpn,
+        access: Access,
+    ) -> Result<Ppn, AccessError> {
+        self.tick += 1;
+        if let Some(entry) = self.tlb.get_mut(&vpn.0) {
+            if entry.perms.allows(access) {
+                entry.stamp = self.tick;
+                self.stats.hits += 1;
+                return Ok(entry.ppn);
+            }
+            // Cached translation lacks the right; treat as a permission
+            // fault (re-walking would not help — perms come from EEPCM).
+            self.stats.faults += 1;
+            return Err(AccessError::PermissionDenied { access });
+        }
+        let ppn = match table.walk(vpn) {
+            Some(p) => p,
+            None => {
+                self.stats.faults += 1;
+                return Err(AccessError::NotMapped { vpn });
+            }
+        };
+        if let Err(e) = eepcm.validate(self.owner, vpn, ppn, access) {
+            self.stats.faults += 1;
+            return Err(e);
+        }
+        let perms = match eepcm.state(ppn) {
+            crate::epcm::PageState::Protected { perms, .. } => perms,
+            crate::epcm::PageState::Free => unreachable!("validated pages are protected"),
+        };
+        if self.tlb.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.tlb.iter().min_by_key(|(_, e)| e.stamp) {
+                self.tlb.remove(&victim);
+            }
+        }
+        self.tlb.insert(
+            vpn.0,
+            TlbEntry {
+                ppn,
+                perms,
+                stamp: self.tick,
+            },
+        );
+        self.stats.fills += 1;
+        Ok(ppn)
+    }
+
+    /// Invalidate the whole TLB (context switch / page release — the OS
+    /// must shoot down stale validated entries; the hardware enforces this
+    /// on EEPCM state transitions).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.clear();
+    }
+
+    /// Whether a translation for `vpn` is cached.
+    #[must_use]
+    pub fn cached(&self, vpn: Vpn) -> bool {
+        self.tlb.contains_key(&vpn.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E1: EnclaveId = EnclaveId(1);
+    const E2: EnclaveId = EnclaveId(2);
+
+    fn setup() -> (PageTable, Eepcm, Mmu) {
+        let mut pt = PageTable::new();
+        let mut eepcm = Eepcm::new();
+        pt.map(Vpn(1), Ppn(100));
+        eepcm.assign(Ppn(100), E1, Vpn(1), Perms::RW, true).expect("free");
+        (pt, eepcm, Mmu::new(E1, 4))
+    }
+
+    #[test]
+    fn miss_validates_then_hits() {
+        let (pt, eepcm, mut mmu) = setup();
+        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        assert_eq!(mmu.stats().fills, 1);
+        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        assert_eq!(mmu.stats().hits, 1);
+    }
+
+    #[test]
+    fn os_remap_attack_caught_at_fill() {
+        let (mut pt, mut eepcm, mut mmu) = setup();
+        // A second page of the victim at vpn 2.
+        pt.map(Vpn(2), Ppn(101));
+        eepcm.assign(Ppn(101), E1, Vpn(2), Perms::RW, true).expect("free");
+        // The OS swaps the two mappings (remap attack).
+        pt.map(Vpn(1), Ppn(101));
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Err(AccessError::RemapDetected { .. })
+        ));
+        assert_eq!(mmu.stats().faults, 1);
+        assert!(!mmu.cached(Vpn(1)), "failed translation must not be cached");
+    }
+
+    #[test]
+    fn cross_enclave_mapping_caught() {
+        let (mut pt, mut eepcm, mut mmu) = setup();
+        // The OS maps the victim's vpn to an attacker enclave's page.
+        eepcm.assign(Ppn(200), E2, Vpn(9), Perms::RW, true).expect("free");
+        pt.map(Vpn(3), Ppn(200));
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(3), Access::Read),
+            Err(AccessError::WrongOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_to_unprotected_frame_caught() {
+        let (mut pt, eepcm, mut mmu) = setup();
+        pt.map(Vpn(4), Ppn(999));
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(4), Access::Read),
+            Err(AccessError::UnprotectedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_tlb_entry_survives_until_flush() {
+        // The validated-TLB invariant: entries validated once stay usable;
+        // releasing a page requires a TLB shootdown, which flush_tlb models.
+        let (mut pt, eepcm, mut mmu) = setup();
+        mmu.translate(&pt, &eepcm, Vpn(1), Access::Read).expect("fill");
+        pt.unmap(Vpn(1));
+        // Still hits: the TLB caches the validated translation.
+        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        mmu.flush_tlb();
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Err(AccessError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_lru() {
+        let (mut pt, mut eepcm, mut mmu) = setup();
+        for i in 2..=5u64 {
+            pt.map(Vpn(i), Ppn(100 + i));
+            eepcm
+                .assign(Ppn(100 + i), E1, Vpn(i), Perms::RW, true)
+                .expect("free");
+        }
+        for i in 1..=5u64 {
+            mmu.translate(&pt, &eepcm, Vpn(i), Access::Read).expect("valid");
+        }
+        // Capacity 4: vpn 1 (least recently used) was evicted.
+        assert!(!mmu.cached(Vpn(1)));
+        assert!(mmu.cached(Vpn(5)));
+    }
+
+    #[test]
+    fn write_to_readonly_page_denied() {
+        let (mut pt, mut eepcm, mut mmu) = setup();
+        pt.map(Vpn(6), Ppn(300));
+        eepcm.assign(Ppn(300), E1, Vpn(6), Perms::RO, true).expect("free");
+        assert!(mmu.translate(&pt, &eepcm, Vpn(6), Access::Read).is_ok());
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(6), Access::Write),
+            Err(AccessError::PermissionDenied { .. })
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! The OS-controlled forward page table.
+//!
+//! The page table "is still maintained by the vulnerable operating system"
+//! (paper §II-A): nothing here is trusted. The adversary may insert,
+//! remove, or rewrite any mapping at any time — the security comes from
+//! the EEPCM validation that happens on TLB fill, never from this table.
+
+use crate::{Ppn, Vpn};
+use std::collections::HashMap;
+
+/// One address space's virtual → physical map.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Ppn>,
+}
+
+impl PageTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or overwrite) a mapping — an OS-privileged operation, and
+    /// therefore also the attack hook.
+    pub fn map(&mut self, vpn: Vpn, ppn: Ppn) {
+        self.entries.insert(vpn.0, ppn);
+    }
+
+    /// Remove a mapping.
+    pub fn unmap(&mut self, vpn: Vpn) {
+        self.entries.remove(&vpn.0);
+    }
+
+    /// Walk the table.
+    #[must_use]
+    pub fn walk(&self, vpn: Vpn) -> Option<Ppn> {
+        self.entries.get(&vpn.0).copied()
+    }
+
+    /// Number of mappings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_walk_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.map(Vpn(1), Ppn(100));
+        assert_eq!(pt.walk(Vpn(1)), Some(Ppn(100)));
+        pt.map(Vpn(1), Ppn(200)); // the OS may rewrite at will
+        assert_eq!(pt.walk(Vpn(1)), Some(Ppn(200)));
+        pt.unmap(Vpn(1));
+        assert_eq!(pt.walk(Vpn(1)), None);
+        assert_eq!(pt.len(), 0);
+    }
+}

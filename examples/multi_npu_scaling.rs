@@ -1,0 +1,52 @@
+//! The scalability study of the paper's §V-C (Fig. 16): 1–3 NPUs share
+//! one memory controller and one security engine, so the baseline's
+//! metadata caches thrash as NPUs multiply while TNPU barely notices.
+//!
+//! ```text
+//! cargo run --release --example multi_npu_scaling
+//! ```
+
+use tnpu::core::{Scheme, TnpuSystem};
+use tnpu::models::registry;
+use tnpu::npu::config::NpuConfig;
+
+fn slowest(reports: &[tnpu::core::SystemReport]) -> f64 {
+    reports
+        .iter()
+        .map(|r| r.total_time.0)
+        .max()
+        .expect("non-empty") as f64
+}
+
+fn main() {
+    let models = ["res", "tf"];
+    for name in models {
+        let model = registry::model(name).expect("registered");
+        println!("== {} on the small NPU ==", model.full_name);
+        println!("{:>5} {:>10} {:>10} {:>12}", "NPUs", "baseline", "tnpu", "improvement");
+        for count in 1..=3usize {
+            let unsec = slowest(
+                &TnpuSystem::new(NpuConfig::small_npu(), Scheme::Unsecure)
+                    .run_inference_multi(&model, count)
+                    .expect("valid"),
+            );
+            let tree = slowest(
+                &TnpuSystem::new(NpuConfig::small_npu(), Scheme::TreeBased)
+                    .run_inference_multi(&model, count)
+                    .expect("valid"),
+            ) / unsec;
+            let tnpu = slowest(
+                &TnpuSystem::new(NpuConfig::small_npu(), Scheme::Treeless)
+                    .run_inference_multi(&model, count)
+                    .expect("valid"),
+            ) / unsec;
+            println!(
+                "{count:>5} {tree:>10.3} {tnpu:>10.3} {:>11.1} %",
+                (tree - tnpu) / tree * 100.0
+            );
+        }
+        println!();
+    }
+    println!("normalization: each row divides by the unsecure run of the same NPU count,");
+    println!("exactly as the paper's Fig. 16 does.");
+}

@@ -1,0 +1,59 @@
+//! # TNPU — Trusted Execution with Tree-less Integrity Protection for NPUs
+//!
+//! A comprehensive Rust reproduction of the HPCA 2022 paper *"TNPU:
+//! Supporting Trusted Execution with Tree-less Integrity Protection for
+//! Neural Processing Unit"* (Lee, Kim, Na, Park, Huh — KAIST).
+//!
+//! This facade crate re-exports every workspace crate so examples, tests and
+//! downstream users can depend on one entry point:
+//!
+//! * [`sim`] — simulation substrate (cycles, caches, DRAM model, stats).
+//! * [`crypto`] — functional AES-128 / CTR / XTS / SHA-256 / HMAC primitives.
+//! * [`memprot`] — memory-protection engines: counter-mode + SC-64 integrity
+//!   tree (baseline) and AES-XTS + versioned MAC (tree-less TNPU).
+//! * [`tee`] — access control: EEPCM, MMU/IOMMU validation, enclaves,
+//!   attestation.
+//! * [`models`] — the 14 benchmark DNNs evaluated by the paper.
+//! * [`npu`] — the cycle-level systolic-array NPU simulator.
+//! * [`core`] — the paper's contribution: version-number management, secure
+//!   instruction lowering, the [`core::TnpuSystem`] facade, end-to-end and
+//!   hardware-cost models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tnpu::core::{TnpuSystem, Scheme};
+//! use tnpu::npu::config::NpuConfig;
+//! use tnpu::models::registry;
+//!
+//! let model = registry::model("df").expect("deepface is registered");
+//! let mut system = TnpuSystem::new(NpuConfig::small_npu(), Scheme::Treeless);
+//! let report = system.run_inference(&model).expect("secure run succeeds");
+//! assert!(report.total_time.0 > 0);
+//! ```
+
+pub use tnpu_core as core;
+pub use tnpu_crypto as crypto;
+pub use tnpu_memprot as memprot;
+pub use tnpu_models as models;
+pub use tnpu_npu as npu;
+pub use tnpu_sim as sim;
+pub use tnpu_tee as tee;
+
+/// The handful of types most programs need.
+///
+/// ```
+/// use tnpu::prelude::*;
+///
+/// let model = registry::model("agz").expect("registered");
+/// let mut sys = TnpuSystem::new(NpuConfig::large_npu(), Scheme::Treeless);
+/// let report = sys.run_inference(&model).expect("valid model");
+/// assert!(report.total_time.0 > 0);
+/// ```
+pub mod prelude {
+    pub use crate::core::{Scheme, SystemReport, TnpuSystem, VersionTable};
+    pub use crate::crypto::Key128;
+    pub use crate::models::registry;
+    pub use crate::npu::config::NpuConfig;
+    pub use crate::sim::Cycles;
+}

@@ -1,0 +1,91 @@
+//! The adoption scenario end to end: platform boot, context creation with
+//! attestation, timing simulation of the protected inference, functional
+//! verification of the same model, and the secure instruction stream — all
+//! through the public API a downstream user would touch.
+
+use tnpu::prelude::*;
+use tnpu_core::context::{SecureNpuSession, NELRANGE_BASE};
+use tnpu_core::instr;
+use tnpu_npu::alloc::ModelLayout;
+use tnpu_npu::tiler;
+use tnpu_tee::driver::NpuCommand;
+use tnpu_tee::{Access, Vpn, PAGE_SIZE};
+
+#[test]
+fn boot_attest_simulate_verify() {
+    // 1. Platform boot and context creation.
+    let mut session = SecureNpuSession::new(Key128::derive(b"device"), 1);
+    let mut ctx = session
+        .create_context(b"resnet-inference-app-v1", 8)
+        .expect("context");
+
+    // 2. Remote attestation round.
+    let nonce = [0x5au8; 16];
+    let report = session.attest(&ctx, nonce);
+    assert!(session.verify(&report, &ctx.measurement, &nonce));
+
+    // 3. The IOMMU serves the tensor range; the driver takes commands.
+    let vpn = Vpn(NELRANGE_BASE / PAGE_SIZE + 3);
+    session
+        .iommu_translate(&mut ctx, vpn, Access::Write)
+        .expect("tensor page validates");
+    session
+        .issue(ctx.enclave, &ctx, NpuCommand::Mvin { version: 1 })
+        .expect("owner commands");
+
+    // 4. Timing simulation of the protected inference.
+    let model = registry::model("agz").expect("registered");
+    let mut system = TnpuSystem::new(NpuConfig::small_npu(), Scheme::Treeless);
+    let secure = system.run_inference(&model).expect("valid");
+    let unsecure = TnpuSystem::new(NpuConfig::small_npu(), Scheme::Unsecure)
+        .run_inference(&model)
+        .expect("valid");
+    let overhead = secure.total_time.as_f64() / unsecure.total_time.as_f64();
+    assert!((1.0..1.5).contains(&overhead), "overhead {overhead:.3}");
+
+    // 5. Functional verification: the same model, real bytes.
+    let output = system
+        .run_functional(&model, Key128::derive(b"session"), 42)
+        .expect("verified run");
+    assert!(!output.is_empty());
+
+    // 6. The secure instruction stream for the same plan is consistent.
+    let layout = ModelLayout::allocate(&model, tnpu::sim::Addr(0));
+    let plan = tiler::plan(&model, system.npu(), &layout, 42);
+    let stream = instr::lower_secure(&plan).expect("lowering succeeds");
+    instr::replay(&stream).expect("stream verifies");
+
+    // 7. Teardown.
+    session.release(ctx).expect("owner releases");
+}
+
+#[test]
+fn timing_and_functional_agree_on_data_volume() {
+    // The timing plan's payload traffic and the functional runner's block
+    // movements describe the same inference: the functional runner reads
+    // whole tensors (no tiling reuse), so its unique read volume must not
+    // exceed the plan's (which re-reads across tiles) by more than the
+    // embedding-gather difference.
+    let model = registry::model("df").expect("registered");
+    let npu = NpuConfig::small_npu();
+    let layout = ModelLayout::allocate(&model, tnpu::sim::Addr(0));
+    let plan = tiler::plan(&model, &npu, &layout, 9);
+    let plan_bytes = plan.data_bytes();
+
+    let mut runner =
+        tnpu_core::secure_runner::SecureRunner::new(&model, Key128::derive(b"agree"), 9);
+    let traces = runner.run().expect("verifies");
+    let functional_blocks: u64 = traces
+        .iter()
+        .map(|t| t.blocks_read + t.blocks_written)
+        .sum();
+    let functional_bytes = functional_blocks * 64;
+    assert!(
+        functional_bytes <= 2 * plan_bytes,
+        "functional {functional_bytes} vs plan {plan_bytes}"
+    );
+    assert!(
+        plan_bytes <= 4 * functional_bytes,
+        "plan {plan_bytes} vs functional {functional_bytes}"
+    );
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) of the core invariants across crates.
+
+use proptest::prelude::*;
+use tnpu::crypto::ctr::CtrMode;
+use tnpu::crypto::mac::BlockMac;
+use tnpu::crypto::xts::XtsMode;
+use tnpu::crypto::Key128;
+use tnpu::memprot::functional::TreelessMemory;
+use tnpu::sim::cache::{AccessKind, Cache, CacheConfig};
+use tnpu::sim::{block_count, blocks_covering, Addr};
+use tnpu_core::version::{VersionError, VersionTable};
+
+fn arb_block() -> impl Strategy<Value = [u8; 64]> {
+    prop::collection::vec(any::<u8>(), 64).prop_map(|v| {
+        let mut b = [0u8; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XTS decrypt(encrypt(x)) == x for any data and unit number.
+    #[test]
+    fn xts_roundtrip(data in arb_block(), unit in any::<u64>()) {
+        let xts = XtsMode::from_master(Key128::derive(b"prop"));
+        let mut block = data;
+        xts.encrypt_block(unit, &mut block);
+        xts.decrypt_block(unit, &mut block);
+        prop_assert_eq!(block, data);
+    }
+
+    /// CTR-mode application is an involution for any (addr, counter).
+    #[test]
+    fn ctr_involution(data in arb_block(), addr in any::<u64>(), counter in any::<u64>()) {
+        let ctr = CtrMode::new(Key128::derive(b"prop"));
+        let mut block = data;
+        ctr.apply(addr, counter, &mut block);
+        ctr.apply(addr, counter, &mut block);
+        prop_assert_eq!(block, data);
+    }
+
+    /// A MAC never verifies when any of content, address, or version
+    /// changed.
+    #[test]
+    fn mac_binds_all_inputs(
+        data in arb_block(),
+        addr in 0u64..1_000_000,
+        version in 0u64..1_000_000,
+        flip_byte in 0usize..64,
+        delta in 1u64..100,
+    ) {
+        let mac = BlockMac::new(Key128::derive(b"prop"));
+        let tag = mac.tag(addr, version, &data);
+        prop_assert!(mac.verify(addr, version, &data, tag));
+        let mut tampered = data;
+        tampered[flip_byte] ^= 0x01;
+        prop_assert!(!mac.verify(addr, version, &tampered, tag));
+        prop_assert!(!mac.verify(addr + delta, version, &data, tag));
+        prop_assert!(!mac.verify(addr, version + delta, &data, tag));
+    }
+
+    /// Protected-memory roundtrip for arbitrary data, addresses and
+    /// versions; a wrong expected version always fails.
+    #[test]
+    fn treeless_memory_roundtrip(
+        data in arb_block(),
+        block_no in 0u64..1_000_000,
+        version in 1u64..1_000_000,
+    ) {
+        let mut mem = TreelessMemory::new(Key128::derive(b"prop"));
+        let addr = Addr(block_no * 64);
+        mem.write_block(addr, version, data);
+        prop_assert_eq!(mem.read_block(addr, version).expect("verifies"), data);
+        prop_assert!(mem.read_block(addr, version + 1).is_err());
+    }
+
+    /// blocks_covering is consistent with block_count and covers exactly
+    /// the bytes of the range.
+    #[test]
+    fn block_covering_consistency(start in 0u64..1_000_000, len in 0u64..10_000) {
+        let blocks: Vec<_> = blocks_covering(Addr(start), len).collect();
+        prop_assert_eq!(blocks.len() as u64, block_count(Addr(start), len));
+        if len > 0 {
+            prop_assert!(blocks.first().expect("non-empty").base().0 <= start);
+            let last = blocks.last().expect("non-empty");
+            prop_assert!(last.base().0 + 64 >= start + len);
+            // Contiguity.
+            for pair in blocks.windows(2) {
+                prop_assert_eq!(pair[1].0, pair[0].0 + 1);
+            }
+        }
+    }
+
+    /// The cache never reports more lines resident than its capacity, and
+    /// re-accessing a just-inserted line always hits.
+    #[test]
+    fn cache_sanity(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
+        let mut cache = Cache::new(CacheConfig::new("prop", 1024, 2, 64));
+        for &a in &addrs {
+            cache.access(Addr(a * 64), AccessKind::Write);
+            prop_assert!(cache.probe(Addr(a * 64)), "just-inserted line must be resident");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        prop_assert!(stats.writebacks <= stats.misses);
+    }
+
+    /// Version-table discipline: expand -> bump each tile k times ->
+    /// merge always round-trips, and merging early always fails unless
+    /// every tile was bumped equally.
+    #[test]
+    fn version_expand_merge_roundtrip(tiles in 1u32..50, rounds in 1u32..5) {
+        let mut t = VersionTable::new();
+        t.register(0);
+        t.expand(0, tiles).expect("expand");
+        for _round in 0..rounds {
+            for tile in 0..tiles {
+                t.bump_tile(0, tile).expect("bump");
+                // Mid-round the tile versions are non-uniform, so merging
+                // must fail (single-tile tensors are always uniform).
+                if tiles > 1 && tile == 0 {
+                    prop_assert_eq!(t.merge(0).unwrap_err(), VersionError::TilesNotUniform(0));
+                }
+            }
+        }
+        let merged = t.merge(0).expect("uniform");
+        prop_assert_eq!(merged, u64::from(rounds));
+        prop_assert_eq!(t.version(0, 0).expect("single"), u64::from(rounds));
+    }
+}
+
+/// Non-proptest: the merge-early failure also holds right after expand
+/// once any tile moved.
+#[test]
+fn merge_after_partial_round_fails() {
+    let mut t = VersionTable::new();
+    t.register(1);
+    t.expand(1, 3).expect("expand");
+    t.bump_tile(1, 1).expect("bump");
+    assert_eq!(t.merge(1), Err(VersionError::TilesNotUniform(1)));
+}
