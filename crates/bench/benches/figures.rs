@@ -14,6 +14,22 @@ use tnpu_npu::NpuConfig;
 /// gather-heavy model.
 const QUICK: [&str; 2] = ["df", "ncf"];
 
+/// The parallel-runner payoff: the same figure sweep serially and on the
+/// session pool width. The ratio is the speedup `experiments -- all`
+/// reports on its stderr summary.
+fn bench_sweep_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    group.bench_function("figure_sweep_1_thread", |b| {
+        b.iter(|| std::hint::black_box(experiments::sweep_with_threads(1, &QUICK, &[1, 2])));
+    });
+    let width = tnpu_bench::sweep::threads();
+    group.bench_function(format!("figure_sweep_{width}_threads"), |b| {
+        b.iter(|| std::hint::black_box(experiments::sweep_with_threads(width, &QUICK, &[1, 2])));
+    });
+    group.finish();
+}
+
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
@@ -112,5 +128,5 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_simulator);
+criterion_group!(benches, bench_sweep_runner, bench_figures, bench_simulator);
 criterion_main!(benches);

@@ -11,31 +11,72 @@
 //! * **Version granularity** — the tile size used for version expansion
 //!   trades peak version-table storage against per-`mvout` table pressure.
 
+use crate::sweep as pool;
+use tnpu_core::RunSpec;
 use tnpu_memprot::{ProtectionConfig, SchemeKind};
-use tnpu_models::registry;
-use tnpu_npu::{simulate_multi_with, NpuConfig};
+use tnpu_npu::{NpuConfig, RunReport};
 
-fn overhead(model: &str, scheme: SchemeKind, protection: &ProtectionConfig) -> f64 {
-    let m = registry::model(model).expect("registered model");
+/// Execute a list of cells on the session worker pool, recording its
+/// timings for the end-of-run summary. Results keep input order.
+fn run_cells(experiment: &str, specs: &[RunSpec]) -> Vec<RunReport> {
+    pool::run_ordered(experiment, specs, RunSpec::label, |spec| {
+        spec.execute().into_slowest()
+    })
+}
+
+/// Overheads of `variants` (each a scheme + protection config) on the
+/// small NPU, normalized to one shared unsecure baseline run — all cells
+/// of one pool run, in variant order.
+fn overheads(
+    experiment: &str,
+    model: &str,
+    variants: &[(SchemeKind, ProtectionConfig)],
+) -> Vec<f64> {
     let npu = NpuConfig::small_npu();
-    let run = simulate_multi_with(&m, &npu, scheme, 1, protection)
-        .pop()
-        .expect("one NPU");
-    let base = simulate_multi_with(&m, &npu, SchemeKind::Unsecure, 1, protection)
-        .pop()
-        .expect("one NPU");
-    run.total.as_f64() / base.total.as_f64()
+    let mut specs = vec![RunSpec::new(
+        experiment,
+        model,
+        &npu,
+        SchemeKind::Unsecure,
+        1,
+    )];
+    specs.extend(variants.iter().map(|(scheme, cfg)| {
+        RunSpec::new(experiment, model, &npu, *scheme, 1).with_protection(cfg.clone())
+    }));
+    let results = run_cells(experiment, &specs);
+    let base = results[0].total.as_f64();
+    results[1..]
+        .iter()
+        .map(|r| r.total.as_f64() / base)
+        .collect()
+}
+
+/// Single-variant overhead — the unit tests' probe.
+#[cfg(test)]
+fn overhead(model: &str, scheme: SchemeKind, protection: &ProtectionConfig) -> f64 {
+    overheads("ablation", model, &[(scheme, protection.clone())])[0]
 }
 
 /// Metadata-cache size sweep (scale × the paper's 4/4/8 KB setup).
 #[must_use]
 pub fn cache_sensitivity(model: &str) -> String {
+    let scales = [1usize, 2, 4, 8];
+    let variants: Vec<(SchemeKind, ProtectionConfig)> = scales
+        .iter()
+        .flat_map(|&scale| {
+            let cfg = ProtectionConfig::paper_default().with_cache_scale(scale);
+            [
+                (SchemeKind::TreeBased, cfg.clone()),
+                (SchemeKind::Treeless, cfg),
+            ]
+        })
+        .collect();
+    let oh = overheads("ablation-cache", model, &variants);
     let mut out = format!("Ablation: metadata-cache sensitivity ({model}, small NPU)\n");
     out += "scale   counter/hash/mac      baseline    tnpu\n";
-    for scale in [1usize, 2, 4, 8] {
-        let cfg = ProtectionConfig::paper_default().with_cache_scale(scale);
-        let tree = overhead(model, SchemeKind::TreeBased, &cfg);
-        let tnpu = overhead(model, SchemeKind::Treeless, &cfg);
+    for (i, &scale) in scales.iter().enumerate() {
+        let cfg = &variants[2 * i].1;
+        let (tree, tnpu) = (oh[2 * i], oh[2 * i + 1]);
         out += &format!(
             "{scale}x      {:>2}/{:>2}/{:>2} KB          {tree:5.3}      {tnpu:5.3}\n",
             cfg.counter_cache.capacity >> 10,
@@ -50,11 +91,18 @@ pub fn cache_sensitivity(model: &str) -> String {
 /// Tree-arity sweep for the baseline (8-ary SGX-style vs 64-ary SC-64).
 #[must_use]
 pub fn tree_arity(model: &str) -> String {
+    let arities = [8u64, 16, 64];
+    let variants: Vec<(SchemeKind, ProtectionConfig)> = arities
+        .iter()
+        .map(|&arity| {
+            let mut cfg = ProtectionConfig::paper_default();
+            cfg.tree_arity = arity;
+            (SchemeKind::TreeBased, cfg)
+        })
+        .collect();
+    let oh = overheads("ablation-arity", model, &variants);
     let mut out = format!("Ablation: counter-tree arity ({model}, small NPU, baseline)\n");
-    for arity in [8u64, 16, 64] {
-        let mut cfg = ProtectionConfig::paper_default();
-        cfg.tree_arity = arity;
-        let tree = overhead(model, SchemeKind::TreeBased, &cfg);
+    for (&arity, tree) in arities.iter().zip(oh) {
         out += &format!("arity {arity:>2}: baseline overhead {tree:5.3}\n");
     }
     out += "expected: lower arity -> deeper tree -> costlier walks\n";
@@ -68,14 +116,23 @@ pub fn tree_organization(model: &str) -> String {
     let uniform = ProtectionConfig::paper_default();
     let mut vault = ProtectionConfig::paper_default();
     vault.vault_tree = true;
-    let mut out = format!("Ablation: tree organization ({model}, small NPU, baseline)
-");
+    let oh = overheads(
+        "ablation-organization",
+        model,
+        &[
+            (SchemeKind::TreeBased, uniform),
+            (SchemeKind::TreeBased, vault),
+        ],
+    );
+    let mut out = format!(
+        "Ablation: tree organization ({model}, small NPU, baseline)
+"
+    );
     out += &format!(
         "uniform SC-64: {:5.3}
 VAULT-style:   {:5.3}
 ",
-        overhead(model, SchemeKind::TreeBased, &uniform),
-        overhead(model, SchemeKind::TreeBased, &vault),
+        oh[0], oh[1],
     );
     out += "both remain above TNPU: the tree itself is the bottleneck
 ";
@@ -85,12 +142,25 @@ VAULT-style:   {:5.3}
 /// The integrity price: encrypt-only (scalable-SGX-like) vs TNPU.
 #[must_use]
 pub fn integrity_price(models: &[&str]) -> String {
-    let cfg = ProtectionConfig::paper_default();
+    const SCHEMES: [SchemeKind; 3] = [
+        SchemeKind::Unsecure,
+        SchemeKind::EncryptOnly,
+        SchemeKind::Treeless,
+    ];
+    let npu = NpuConfig::small_npu();
+    let specs: Vec<RunSpec> = models
+        .iter()
+        .flat_map(|&model| {
+            SCHEMES.map(|scheme| RunSpec::new("ablation-integrity", model, &npu, scheme, 1))
+        })
+        .collect();
+    let results = run_cells("ablation-integrity", &specs);
     let mut out = String::from("Ablation: the price of integrity (small NPU)\n");
     out += "model   encrypt-only   tnpu    delta (= MAC + version cost)\n";
-    for &model in models {
-        let enc = overhead(model, SchemeKind::EncryptOnly, &cfg);
-        let tnpu = overhead(model, SchemeKind::Treeless, &cfg);
+    for (i, &model) in models.iter().enumerate() {
+        let base = results[SCHEMES.len() * i].total.as_f64();
+        let enc = results[SCHEMES.len() * i + 1].total.as_f64() / base;
+        let tnpu = results[SCHEMES.len() * i + 2].total.as_f64() / base;
         out += &format!(
             "{model:5}   {enc:5.3}         {tnpu:5.3}   +{:4.1} %\n",
             (tnpu - enc) * 100.0
@@ -106,14 +176,26 @@ pub fn integrity_price(models: &[&str]) -> String {
 /// SC-64.
 #[must_use]
 pub fn counter_granularity(model: &str) -> String {
-    let mut out = format!("Ablation: split-counter granularity ({model}, small NPU, baseline)
-");
-    for cpb in [32u64, 64, 128] {
-        let mut cfg = ProtectionConfig::paper_default();
-        cfg.counters_per_block = cpb;
-        let tree = overhead(model, SchemeKind::TreeBased, &cfg);
-        out += &format!("SC-{cpb:<4} (one counter block per {:>3} KB): {tree:5.3}
-", cpb * 64 / 1024);
+    let granularities = [32u64, 64, 128];
+    let variants: Vec<(SchemeKind, ProtectionConfig)> = granularities
+        .iter()
+        .map(|&cpb| {
+            let mut cfg = ProtectionConfig::paper_default();
+            cfg.counters_per_block = cpb;
+            (SchemeKind::TreeBased, cfg)
+        })
+        .collect();
+    let oh = overheads("ablation-granularity", model, &variants);
+    let mut out = format!(
+        "Ablation: split-counter granularity ({model}, small NPU, baseline)
+"
+    );
+    for (&cpb, tree) in granularities.iter().zip(oh) {
+        out += &format!(
+            "SC-{cpb:<4} (one counter block per {:>3} KB): {tree:5.3}
+",
+            cpb * 64 / 1024
+        );
     }
     out += "expected: coarser counters amortize fetches over more data
 ";
@@ -124,27 +206,32 @@ pub fn counter_granularity(model: &str) -> String {
 /// tree-less advantage keep growing as more NPUs share the engine?
 #[must_use]
 pub fn extended_scaling(models: &[&str], max_npus: usize) -> String {
+    const SCHEMES: [SchemeKind; 3] = [
+        SchemeKind::Unsecure,
+        SchemeKind::TreeBased,
+        SchemeKind::Treeless,
+    ];
     let npu = NpuConfig::small_npu();
-    let cfg = ProtectionConfig::paper_default();
-    let mut out = format!(
-        "Extension: scalability to {max_npus} NPUs (small NPU, avg of {models:?})\n"
-    );
+    let mut specs = Vec::new();
+    for count in 1..=max_npus {
+        for &model in models {
+            for scheme in SCHEMES {
+                specs.push(RunSpec::new("ext-scaling", model, &npu, scheme, count));
+            }
+        }
+    }
+    let results = run_cells("ext-scaling", &specs);
+    let mut out =
+        format!("Extension: scalability to {max_npus} NPUs (small NPU, avg of {models:?})\n");
     out += "NPUs   baseline   tnpu   improvement\n";
+    let mut cells = results.iter();
     for count in 1..=max_npus {
         let mut tree_sum = 0.0;
         let mut tnpu_sum = 0.0;
-        for &model in models {
-            let m = registry::model(model).expect("registered model");
-            let slowest = |scheme| {
-                simulate_multi_with(&m, &npu, scheme, count, &cfg)
-                    .iter()
-                    .map(|r| r.total.0)
-                    .max()
-                    .expect("non-empty") as f64
-            };
-            let u = slowest(SchemeKind::Unsecure);
-            tree_sum += slowest(SchemeKind::TreeBased) / u;
-            tnpu_sum += slowest(SchemeKind::Treeless) / u;
+        for _ in models {
+            let u = cells.next().expect("unsecure cell").total.as_f64();
+            tree_sum += cells.next().expect("baseline cell").total.as_f64() / u;
+            tnpu_sum += cells.next().expect("tnpu cell").total.as_f64() / u;
         }
         let tree = tree_sum / models.len() as f64;
         let tnpu = tnpu_sum / models.len() as f64;
@@ -185,7 +272,11 @@ mod tests {
         let mut sgx_like = ProtectionConfig::paper_default();
         sgx_like.tree_arity = 8;
         let deep = overhead("sent", SchemeKind::TreeBased, &sgx_like);
-        let shallow = overhead("sent", SchemeKind::TreeBased, &ProtectionConfig::paper_default());
+        let shallow = overhead(
+            "sent",
+            SchemeKind::TreeBased,
+            &ProtectionConfig::paper_default(),
+        );
         assert!(deep >= shallow, "8-ary {deep:.3} vs 64-ary {shallow:.3}");
     }
 
@@ -196,7 +287,10 @@ mod tests {
         let coarse = ProtectionConfig::paper_default(); // SC-64
         let fine_oh = overhead("ncf", SchemeKind::TreeBased, &fine);
         let coarse_oh = overhead("ncf", SchemeKind::TreeBased, &coarse);
-        assert!(fine_oh >= coarse_oh, "SC-32 {fine_oh:.3} vs SC-64 {coarse_oh:.3}");
+        assert!(
+            fine_oh >= coarse_oh,
+            "SC-32 {fine_oh:.3} vs SC-64 {coarse_oh:.3}"
+        );
     }
 
     #[test]

@@ -1,25 +1,65 @@
 //! CLI driver regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [target ...]
+//! experiments [--quick] [--threads N] [target ...]
 //! targets: table2 table3 fig4 fig5 fig14 fig15 fig16 fig17 vtable hwcost all
 //! ```
+//!
+//! Cells of each experiment run in parallel on a worker pool sized by
+//! `--threads N` (or the `TNPU_THREADS` environment variable, defaulting
+//! to all cores). stdout is byte-identical at any thread count; the
+//! timing summary — per-job wall times and the aggregate speedup — goes
+//! to stderr.
 
 use tnpu_bench::experiments::{self, model_list};
-use tnpu_bench::tables;
+use tnpu_bench::{sweep, tables};
+
+fn parse_thread_count(value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads wants a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--threads" {
+            let Some(value) = iter.next() else {
+                eprintln!("--threads wants a value");
+                std::process::exit(2);
+            };
+            sweep::set_threads(parse_thread_count(value));
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            sweep::set_threads(parse_thread_count(value));
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag: {arg}");
+            std::process::exit(2);
+        } else {
+            targets.push(arg.as_str());
+        }
+    }
     if targets.is_empty() || targets.contains(&"all") {
         targets = vec![
-            "table2", "table3", "fig4", "fig5", "fig14", "fig15", "fig16", "fig17", "vtable",
-            "hwcost", "ablations",
+            "table2",
+            "table3",
+            "fig4",
+            "fig5",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "vtable",
+            "hwcost",
+            "ablations",
         ];
     }
     let models = model_list(quick);
@@ -61,9 +101,7 @@ fn main() {
             "fig17" => tables::fig17(&models),
             "vtable" => tables::vtable(&models),
             "hwcost" => tables::hwcost(),
-            "ext_scaling" => {
-                tnpu_bench::ablations::extended_scaling(&["df", "ncf", "sent"], 6)
-            }
+            "ext_scaling" => tnpu_bench::ablations::extended_scaling(&["df", "ncf", "sent"], 6),
             "ablations" => {
                 let mut s = tnpu_bench::ablations::cache_sensitivity("ncf");
                 s += "\n";
@@ -83,5 +121,11 @@ fn main() {
         };
         println!("==== {target} ====");
         println!("{rendered}");
+    }
+
+    // Timing telemetry is nondeterministic, so it goes to stderr only —
+    // stdout must stay byte-identical at any thread count.
+    if let Some(summary) = sweep::session_summary() {
+        eprint!("{summary}");
     }
 }

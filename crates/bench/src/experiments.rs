@@ -5,11 +5,20 @@
 //! and shared. Figures 16 and 17 run their own sweeps (multi-NPU and
 //! end-to-end respectively).
 
+use crate::sweep::{self as pool, PoolReport};
 use std::collections::BTreeMap;
-use tnpu_core::endtoend::{run_end_to_end, EndToEndReport};
+use tnpu_core::endtoend::{run_end_to_end_seeded, EndToEndReport};
+use tnpu_core::RunSpec;
 use tnpu_memprot::SchemeKind;
 use tnpu_models::registry;
-use tnpu_npu::{simulate_multi, NpuConfig, RunReport};
+use tnpu_npu::{NpuConfig, RunReport};
+
+/// Experiment label of the shared single/multi-NPU figure sweep — part of
+/// every cell's seed derivation (see `tnpu_core::runspec`).
+pub const FIGURES_EXPERIMENT: &str = "figures";
+
+/// Experiment label of the Fig. 17 end-to-end sweep.
+pub const ENDTOEND_EXPERIMENT: &str = "endtoend";
 
 /// The schemes plotted by the performance figures, in bar order.
 pub const FIGURE_SCHEMES: [SchemeKind; 3] = [
@@ -56,7 +65,13 @@ impl Sweep {
     ///
     /// Panics if the sweep does not contain the key (harness bug).
     #[must_use]
-    pub fn get(&self, model: &str, config: &NpuConfig, scheme: SchemeKind, npus: usize) -> &RunReport {
+    pub fn get(
+        &self,
+        model: &str,
+        config: &NpuConfig,
+        scheme: SchemeKind,
+        npus: usize,
+    ) -> &RunReport {
         self.runs
             .get(&SweepKey::new(model, config, scheme, npus))
             .unwrap_or_else(|| panic!("missing run {model}/{}/{scheme}/{npus}", config.name))
@@ -92,48 +107,55 @@ impl Sweep {
     }
 }
 
-/// Run the sweep for `models` × both configs × [`FIGURE_SCHEMES`] ×
-/// `npu_counts`, in parallel across runs.
-#[must_use]
-pub fn sweep(models: &[&str], npu_counts: &[usize]) -> Sweep {
+/// The fixed, matrix-ordered job list of the figure sweep: every cell of
+/// `models` × both configs × [`FIGURE_SCHEMES`] × `npu_counts`.
+fn sweep_specs(models: &[&str], npu_counts: &[usize]) -> Vec<(SweepKey, RunSpec)> {
     let configs = NpuConfig::paper_configs();
-    let mut jobs: Vec<(SweepKey, &str, NpuConfig, SchemeKind, usize)> = Vec::new();
+    let mut jobs = Vec::new();
     for &model in models {
         for config in &configs {
             for &scheme in &FIGURE_SCHEMES {
                 for &npus in npu_counts {
                     jobs.push((
                         SweepKey::new(model, config, scheme, npus),
-                        model,
-                        config.clone(),
-                        scheme,
-                        npus,
+                        RunSpec::new(FIGURES_EXPERIMENT, model, config, scheme, npus),
                     ));
                 }
             }
         }
     }
-    let results: Vec<(SweepKey, RunReport)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(key, model, config, scheme, npus)| {
-                scope.spawn(move |_| {
-                    let m = registry::model(model).expect("registered model");
-                    let reports = simulate_multi(&m, &config, scheme, npus);
-                    let slowest = reports
-                        .into_iter()
-                        .max_by_key(|r| r.total)
-                        .expect("at least one NPU");
-                    (key, slowest)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("scope");
-    Sweep {
-        runs: results.into_iter().collect(),
-    }
+    jobs
+}
+
+/// Run the sweep for `models` × both configs × [`FIGURE_SCHEMES`] ×
+/// `npu_counts` on the session worker pool (see [`crate::sweep`]), and
+/// record its timings for the end-of-run summary.
+#[must_use]
+pub fn sweep(models: &[&str], npu_counts: &[usize]) -> Sweep {
+    let (swept, report) = sweep_with_threads(pool::threads(), models, npu_counts);
+    pool::record(report);
+    swept
+}
+
+/// [`sweep`] at an explicit pool width, returning the timing report
+/// instead of recording it — the hook the determinism test uses to diff a
+/// 1-thread run against an N-thread run.
+#[must_use]
+pub fn sweep_with_threads(
+    threads: usize,
+    models: &[&str],
+    npu_counts: &[usize],
+) -> (Sweep, PoolReport) {
+    let jobs = sweep_specs(models, npu_counts);
+    let (results, report) = pool::run_ordered_with(
+        threads,
+        FIGURES_EXPERIMENT,
+        &jobs,
+        |(_, spec)| spec.label(),
+        |(_, spec)| spec.execute().into_slowest(),
+    );
+    let runs = jobs.into_iter().map(|(key, _)| key).zip(results).collect();
+    (Sweep { runs }, report)
 }
 
 /// The model list to use: all 14, or the quick subset for smoke runs.
@@ -146,34 +168,46 @@ pub fn model_list(quick: bool) -> Vec<&'static str> {
     }
 }
 
-/// Figure 17 data: end-to-end reports per (model, config, scheme).
+/// Figure 17 data: end-to-end reports per (model, config, scheme), run on
+/// the session worker pool.
 #[must_use]
 pub fn fig17_sweep(models: &[&str]) -> BTreeMap<SweepKey, EndToEndReport> {
+    let (data, report) = fig17_sweep_with_threads(pool::threads(), models);
+    pool::record(report);
+    data
+}
+
+/// [`fig17_sweep`] at an explicit pool width, returning the timing report
+/// instead of recording it.
+#[must_use]
+pub fn fig17_sweep_with_threads(
+    threads: usize,
+    models: &[&str],
+) -> (BTreeMap<SweepKey, EndToEndReport>, PoolReport) {
     let configs = NpuConfig::paper_configs();
     let mut jobs = Vec::new();
     for &model in models {
         for config in &configs {
             for &scheme in &FIGURE_SCHEMES {
-                jobs.push((SweepKey::new(model, config, scheme, 1), model, config.clone(), scheme));
+                jobs.push((
+                    SweepKey::new(model, config, scheme, 1),
+                    RunSpec::new(ENDTOEND_EXPERIMENT, model, config, scheme, 1),
+                ));
             }
         }
     }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(key, model, config, scheme)| {
-                scope.spawn(move |_| {
-                    let m = registry::model(model).expect("registered model");
-                    (key, run_end_to_end(&m, &config, scheme))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("no panics"))
-            .collect()
-    })
-    .expect("scope")
+    let (results, report) = pool::run_ordered_with(
+        threads,
+        ENDTOEND_EXPERIMENT,
+        &jobs,
+        |(_, spec)| spec.label(),
+        |(_, spec)| {
+            let m = registry::model(&spec.model).expect("registered model");
+            run_end_to_end_seeded(&m, &spec.config, spec.scheme, spec.seed())
+        },
+    );
+    let data = jobs.into_iter().map(|(key, _)| key).zip(results).collect();
+    (data, report)
 }
 
 /// §IV-D data: peak version-table storage per model (bytes).
@@ -183,8 +217,7 @@ pub fn vtable_storage(models: &[&str]) -> Vec<(String, u64, u64)> {
         .iter()
         .map(|&name| {
             let model = registry::model(name).expect("registered model");
-            let layout =
-                tnpu_npu::alloc::ModelLayout::allocate(&model, tnpu_sim::Addr(0));
+            let layout = tnpu_npu::alloc::ModelLayout::allocate(&model, tnpu_sim::Addr(0));
             let mut table = tnpu_core::VersionTable::new();
             for id in 0..layout.tensor_count {
                 table.register(id);
@@ -195,7 +228,11 @@ pub fn vtable_storage(models: &[&str]) -> Vec<(String, u64, u64)> {
             let max_tiles = layout
                 .outputs
                 .iter()
-                .map(|o| o.bytes.div_ceil(tnpu_core::secure_runner::TILE_BYTES).max(1))
+                .map(|o| {
+                    o.bytes
+                        .div_ceil(tnpu_core::secure_runner::TILE_BYTES)
+                        .max(1)
+                })
                 .max()
                 .unwrap_or(1);
             let peak = steady + (max_tiles.saturating_sub(1)) * 8;

@@ -145,8 +145,18 @@ pub fn fig16(sweep: &Sweep, models: &[&str], counts: &[usize]) -> String {
 /// Figure 17: end-to-end execution times.
 #[must_use]
 pub fn fig17(models: &[&str]) -> String {
-    let data = experiments::fig17_sweep(models);
-    let mut out = String::from("Fig. 17 - end-to-end time normalized to unsecure (baseline | tnpu)\n");
+    fig17_from(&experiments::fig17_sweep(models), models)
+}
+
+/// Render Figure 17 from an already-computed end-to-end sweep (see
+/// [`experiments::fig17_sweep_with_threads`]).
+#[must_use]
+pub fn fig17_from(
+    data: &std::collections::BTreeMap<crate::SweepKey, tnpu_core::endtoend::EndToEndReport>,
+    models: &[&str],
+) -> String {
+    let mut out =
+        String::from("Fig. 17 - end-to-end time normalized to unsecure (baseline | tnpu)\n");
     for cfg in NpuConfig::paper_configs() {
         out += &format!("-- {} NPU --\n", cfg.name);
         let mut base = Vec::new();
@@ -154,7 +164,9 @@ pub fn fig17(models: &[&str]) -> String {
         for &model in models {
             let find = |scheme: SchemeKind| {
                 data.iter()
-                    .find(|(k, _)| k.model == model && k.config == cfg.name && k.scheme == scheme.label())
+                    .find(|(k, _)| {
+                        k.model == model && k.config == cfg.name && k.scheme == scheme.label()
+                    })
                     .map(|(_, r)| r)
                     .expect("swept")
             };
@@ -196,11 +208,17 @@ pub fn vtable(models: &[&str]) -> String {
 /// the baseline counter-cache miss rate.
 #[must_use]
 pub fn csv(sweep: &Sweep, models: &[&str]) -> String {
-    let mut out = String::from("model,config,scheme,norm_time,norm_traffic,counter_miss_rate
-");
+    let mut out = String::from(
+        "model,config,scheme,norm_time,norm_traffic,counter_miss_rate
+",
+    );
     for cfg in NpuConfig::paper_configs() {
         for &model in models {
-            for scheme in [SchemeKind::Unsecure, SchemeKind::TreeBased, SchemeKind::Treeless] {
+            for scheme in [
+                SchemeKind::Unsecure,
+                SchemeKind::TreeBased,
+                SchemeKind::Treeless,
+            ] {
                 let run = sweep.get(model, &cfg, scheme, 1);
                 out += &format!(
                     "{model},{},{},{:.4},{:.4},{:.4}
@@ -251,7 +269,10 @@ pub fn check(sweep: &Sweep, models: &[&str]) -> Vec<String> {
             base_sum += tree;
             tnpu_sum += tnpu;
             if tnpu < 1.0 - 1e-9 {
-                violations.push(format!("{model}/{}: tnpu below unsecure ({tnpu:.3})", cfg.name));
+                violations.push(format!(
+                    "{model}/{}: tnpu below unsecure ({tnpu:.3})",
+                    cfg.name
+                ));
             }
             if tree < tnpu - 1e-9 {
                 violations.push(format!(
@@ -271,7 +292,10 @@ pub fn check(sweep: &Sweep, models: &[&str]) -> Vec<String> {
         let n = models.len() as f64;
         let (base_avg, tnpu_avg) = (base_sum / n, tnpu_sum / n);
         if !(1.0..1.6).contains(&base_avg) {
-            violations.push(format!("{}: baseline average {base_avg:.3} out of band", cfg.name));
+            violations.push(format!(
+                "{}: baseline average {base_avg:.3} out of band",
+                cfg.name
+            ));
         }
         if tnpu_avg > base_avg {
             violations.push(format!(

@@ -208,7 +208,9 @@ impl SecureNpuSession {
         vpn: Vpn,
         access: Access,
     ) -> Result<Ppn, SessionError> {
-        Ok(ctx.iommu.translate(&ctx.page_table, &self.eepcm, vpn, access)?)
+        Ok(ctx
+            .iommu
+            .translate(&ctx.page_table, &self.eepcm, vpn, access)?)
     }
 
     /// Issue an NPU command through the driver enclave (owner-checked).
@@ -253,7 +255,8 @@ mod tests {
         assert!(s.verify(&report, &ctx.measurement, &nonce));
         // Legitimate tensor access through the IOMMU.
         let vpn = Vpn(NELRANGE_BASE / PAGE_SIZE);
-        s.iommu_translate(&mut ctx, vpn, Access::Write).expect("valid");
+        s.iommu_translate(&mut ctx, vpn, Access::Write)
+            .expect("valid");
         // Command the NPU.
         s.issue(ctx.enclave, &ctx, NpuCommand::Mvin { version: 1 })
             .expect("owner");

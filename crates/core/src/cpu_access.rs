@@ -244,7 +244,9 @@ mod tests {
         let mut cpu = CpuTensorAccess::new();
         let data: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
         cpu.write_tensor(&mut m, Addr(4096), 3, &data);
-        let back = cpu.read_tensor(&m, Addr(4096), 3, data.len()).expect("verifies");
+        let back = cpu
+            .read_tensor(&m, Addr(4096), 3, data.len())
+            .expect("verifies");
         assert_eq!(back, data);
     }
 

@@ -65,6 +65,19 @@ fn stream_tensor(
 /// Run the complete request path for `model` on one NPU under `scheme`.
 #[must_use]
 pub fn run_end_to_end(model: &Model, npu: &NpuConfig, scheme: SchemeKind) -> EndToEndReport {
+    run_end_to_end_seeded(model, npu, scheme, 0xE2E)
+}
+
+/// [`run_end_to_end`] with an explicit workload seed for the embedding
+/// gather streams — the hook sweep runners use to key each cell's RNG to
+/// what is simulated rather than to a shared constant.
+#[must_use]
+pub fn run_end_to_end_seeded(
+    model: &Model,
+    npu: &NpuConfig,
+    scheme: SchemeKind,
+    seed: u64,
+) -> EndToEndReport {
     let engine = build_engine(scheme, &ProtectionConfig::paper_default());
     let mut ctl = MemoryController::new(engine, npu);
     let layout = ModelLayout::allocate(model, Addr(0));
@@ -83,7 +96,7 @@ pub fn run_end_to_end(model: &Model, npu: &NpuConfig, scheme: SchemeKind) -> End
 
     // Phase 2: NPU inference. The controller is busy until init_done, so
     // the machine's transfers queue behind the initialization.
-    let plan = tiler::plan(model, npu, &layout, 0xE2E);
+    let plan = tiler::plan(model, npu, &layout, seed);
     let mut machine = NpuMachine::new(plan);
     while !machine.is_done() {
         machine.serve_next(&mut ctl);
@@ -139,8 +152,12 @@ mod tests {
         // cheapest such model to simulate.
         let model = registry::model("ncf").expect("registered");
         let npu = NpuConfig::small_npu();
-        let u_npu = tnpu_npu::simulate(&model, &npu, SchemeKind::Unsecure).total.as_f64();
-        let b_npu = tnpu_npu::simulate(&model, &npu, SchemeKind::TreeBased).total.as_f64();
+        let u_npu = tnpu_npu::simulate(&model, &npu, SchemeKind::Unsecure)
+            .total
+            .as_f64();
+        let b_npu = tnpu_npu::simulate(&model, &npu, SchemeKind::TreeBased)
+            .total
+            .as_f64();
         let u = run_end_to_end(&model, &npu, SchemeKind::Unsecure);
         let b = run_end_to_end(&model, &npu, SchemeKind::TreeBased);
         let npu_overhead = b_npu / u_npu;

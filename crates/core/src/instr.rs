@@ -241,7 +241,9 @@ pub fn replay(stream: &[SecureInstr]) -> Result<(), LowerError> {
     let mut table = VersionTable::new();
     for instr in stream {
         match *instr {
-            SecureInstr::TsWriteTensor { tensor, version, .. } => {
+            SecureInstr::TsWriteTensor {
+                tensor, version, ..
+            } => {
                 table.register(tensor);
                 let v = table.bump(tensor)?;
                 if v != version {
@@ -354,8 +356,14 @@ mod tests {
         // Initialization first: input + weights as ts_write.
         assert!(matches!(stream[0], SecureInstr::TsWriteTensor { .. }));
         // Each layer: Expand ... MvinV/Compute/MvoutV ... Merge.
-        let expands = stream.iter().filter(|i| matches!(i, SecureInstr::Expand { .. })).count();
-        let merges = stream.iter().filter(|i| matches!(i, SecureInstr::Merge { .. })).count();
+        let expands = stream
+            .iter()
+            .filter(|i| matches!(i, SecureInstr::Expand { .. }))
+            .count();
+        let merges = stream
+            .iter()
+            .filter(|i| matches!(i, SecureInstr::Merge { .. }))
+            .count();
         assert_eq!(expands, merges);
         assert_eq!(expands, 6, "one per deepface layer");
     }

@@ -27,13 +27,15 @@
 pub mod context;
 pub mod cpu_access;
 pub mod endtoend;
-pub mod instr;
 pub mod hwcost;
+pub mod instr;
+pub mod runspec;
 pub mod secure_runner;
 pub mod sensor;
 pub mod system;
 pub mod version;
 
+pub use runspec::{RunResult, RunSpec};
 pub use system::{SystemError, SystemReport, TnpuSystem};
 pub use version::VersionTable;
 

@@ -200,12 +200,7 @@ impl SecureRunner {
     /// replay detected); [`RunError::Finished`] when no layers remain.
     pub fn step(&mut self) -> Result<LayerTrace, RunError> {
         let li = self.next_layer;
-        let layer = self
-            .model
-            .layers
-            .get(li)
-            .ok_or(RunError::Finished)?
-            .clone();
+        let layer = self.model.layers.get(li).ok_or(RunError::Finished)?.clone();
         let mut digest = Sha256::new();
         digest.update(layer.name.as_bytes());
         let mut blocks_read = 0;

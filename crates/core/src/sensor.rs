@@ -45,7 +45,10 @@ impl std::fmt::Display for SensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SensorError::BadTag => write!(f, "sensor frame failed authentication"),
-            SensorError::StaleSequence { got, expected_above } => {
+            SensorError::StaleSequence {
+                got,
+                expected_above,
+            } => {
                 write!(f, "stale sensor frame: seq {got}, need > {expected_above}")
             }
         }

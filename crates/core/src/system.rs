@@ -113,13 +113,15 @@ impl TnpuSystem {
         count: usize,
     ) -> Result<Vec<SystemReport>, SystemError> {
         model.validate().map_err(SystemError::InvalidModel)?;
-        Ok(tnpu_npu::simulate_multi(model, &self.npu, self.scheme, count)
-            .into_iter()
-            .map(|npu| SystemReport {
-                total_time: npu.total,
-                npu,
-            })
-            .collect())
+        Ok(
+            tnpu_npu::simulate_multi(model, &self.npu, self.scheme, count)
+                .into_iter()
+                .map(|npu| SystemReport {
+                    total_time: npu.total,
+                    npu,
+                })
+                .collect(),
+        )
     }
 
     /// Simulate the full end-to-end request path (§V-D).

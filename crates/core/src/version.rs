@@ -150,6 +150,14 @@ impl VersionTable {
     /// Expand a tensor into `tiles` tile-unit versions, all starting at the
     /// current tensor version (Fig. 9 step 0 / Fig. 13 (b)).
     ///
+    /// A zero-tile expansion is clamped to one tile: an empty expansion
+    /// would drop the tensor's current version, so a later [`merge`]
+    /// (trivially uniform over no tiles) would rewind it to 0 and re-admit
+    /// stale ciphertext — exactly the replay the version numbers exist to
+    /// prevent.
+    ///
+    /// [`merge`]: VersionTable::merge
+    ///
     /// # Errors
     ///
     /// [`VersionError::UnknownTensor`] / [`VersionError::AlreadyExpanded`].
@@ -161,7 +169,7 @@ impl VersionTable {
                 let VersionEntry::Single(v) = *entry else {
                     unreachable!("expanded case handled above");
                 };
-                *entry = VersionEntry::Expanded(vec![v; tiles as usize]);
+                *entry = VersionEntry::Expanded(vec![v; tiles.max(1) as usize]);
                 self.update_peak();
                 Ok(())
             }
@@ -332,6 +340,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_tile_expansion_cannot_rewind_the_version() {
+        // An empty expansion would let a merge (trivially uniform over no
+        // tiles) reset the version to 0 — a replay window. The expansion
+        // is clamped to one tile, so the version survives the round trip.
+        let mut t = table_with(0);
+        t.bump(0).expect("bump");
+        t.bump(0).expect("bump");
+        t.expand(0, 0).expect("expand");
+        assert_eq!(t.version(0, 0), Ok(2));
+        assert_eq!(t.merge(0), Ok(2));
+    }
+
+    #[test]
     fn storage_accounting() {
         let mut t = VersionTable::new();
         for i in 0..10 {
@@ -348,5 +369,80 @@ mod tests {
         t.merge(0).expect("merge");
         assert_eq!(t.storage_bytes(), 80, "merge shrinks the table");
         assert_eq!(t.peak_storage_bytes(), 872, "peak remembers");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Tensors the generated programs operate over.
+    const TENSORS: u32 = 4;
+
+    proptest! {
+        /// Any interleaving of `expand` / `bump_tile` / `merge` — legal
+        /// or rejected — keeps `peak_storage_bytes` monotonically
+        /// non-decreasing and always at or above the live storage.
+        #[test]
+        fn peak_bytes_is_monotone_under_any_interleaving(
+            ops in prop::collection::vec((0u8..3, 0u32..TENSORS, 0u32..12), 1..64),
+        ) {
+            let mut table = VersionTable::new();
+            for tensor in 0..TENSORS {
+                table.register(tensor);
+            }
+            let mut prev_peak = table.peak_storage_bytes();
+            for (op, tensor, arg) in ops {
+                // Errors are part of the property: a rejected operation
+                // must not disturb the accounting either.
+                let _ = match op {
+                    0 => table.expand(tensor, arg).map(|()| 0),
+                    1 => table.bump_tile(tensor, arg),
+                    _ => table.merge(tensor),
+                };
+                let peak = table.peak_storage_bytes();
+                prop_assert!(
+                    peak >= prev_peak,
+                    "peak shrank: {prev_peak} -> {peak}"
+                );
+                prop_assert!(
+                    peak >= table.storage_bytes(),
+                    "peak {peak} below live storage {}",
+                    table.storage_bytes()
+                );
+                prev_peak = peak;
+            }
+        }
+
+        /// Expanding, bumping every tile the same number of times, and
+        /// merging round-trips the entry to `Single` with the version
+        /// advanced by exactly the per-tile update count.
+        #[test]
+        fn merge_after_uniform_bumps_roundtrips_to_single(
+            start in 0u64..64,
+            tiles in 0u32..32,
+            rounds in 1u64..6,
+        ) {
+            let mut table = VersionTable::new();
+            table.register(0);
+            for _ in 0..start {
+                table.bump(0).expect("single-entry bump");
+            }
+            table.expand(0, tiles).expect("fresh expand");
+            let live_tiles = tiles.max(1); // zero-tile expansions clamp
+            for _ in 0..rounds {
+                for tile in 0..live_tiles {
+                    table.bump_tile(0, tile).expect("in-range tile");
+                }
+            }
+            let merged = table.merge(0).expect("uniform tiles merge");
+            prop_assert_eq!(merged, start + rounds);
+            prop_assert_eq!(table.version(0, 0).expect("known tensor"), start + rounds);
+            // The entry is Single again: tensor-unit storage and a legal
+            // whole-tensor bump.
+            prop_assert_eq!(table.storage_bytes(), ENTRY_BYTES);
+            prop_assert_eq!(table.bump(0).expect("single again"), start + rounds + 1);
+        }
     }
 }

@@ -81,7 +81,11 @@ fn tables() -> &'static Tables {
                 *entry = gf_mul(c, x as u8);
             }
         }
-        Tables { sbox, inv_sbox, mul }
+        Tables {
+            sbox,
+            inv_sbox,
+            mul,
+        }
     })
 }
 
@@ -174,18 +178,32 @@ impl Aes128 {
     fn mix_columns(state: &mut [u8; 16]) {
         let t = tables();
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] = t.mul[M2][col[0] as usize] ^ t.mul[M3][col[1] as usize] ^ col[2] ^ col[3];
-            state[4 * c + 1] = col[0] ^ t.mul[M2][col[1] as usize] ^ t.mul[M3][col[2] as usize] ^ col[3];
-            state[4 * c + 2] = col[0] ^ col[1] ^ t.mul[M2][col[2] as usize] ^ t.mul[M3][col[3] as usize];
-            state[4 * c + 3] = t.mul[M3][col[0] as usize] ^ col[1] ^ col[2] ^ t.mul[M2][col[3] as usize];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                t.mul[M2][col[0] as usize] ^ t.mul[M3][col[1] as usize] ^ col[2] ^ col[3];
+            state[4 * c + 1] =
+                col[0] ^ t.mul[M2][col[1] as usize] ^ t.mul[M3][col[2] as usize] ^ col[3];
+            state[4 * c + 2] =
+                col[0] ^ col[1] ^ t.mul[M2][col[2] as usize] ^ t.mul[M3][col[3] as usize];
+            state[4 * c + 3] =
+                t.mul[M3][col[0] as usize] ^ col[1] ^ col[2] ^ t.mul[M2][col[3] as usize];
         }
     }
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         let t = tables();
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = t.mul[M14][col[0] as usize]
                 ^ t.mul[M11][col[1] as usize]
                 ^ t.mul[M13][col[2] as usize]

@@ -68,7 +68,10 @@ impl ProtectionConfig {
     /// sweeps; `factor` must be a power of two so geometry stays valid).
     #[must_use]
     pub fn with_cache_scale(mut self, factor: usize) -> Self {
-        assert!(factor.is_power_of_two(), "cache scale must be a power of two");
+        assert!(
+            factor.is_power_of_two(),
+            "cache scale must be a power of two"
+        );
         self.counter_cache =
             CacheConfig::new("counter", self.counter_cache.capacity * factor, 8, 64);
         self.hash_cache = CacheConfig::new("hash", self.hash_cache.capacity * factor, 8, 64);

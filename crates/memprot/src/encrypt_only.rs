@@ -54,8 +54,8 @@ impl ProtectionEngine for EncryptOnlyEngine {
         self.stats = EngineStats::default();
     }
 
-    fn flush(&mut self) {
-        self.reset_stats();
+    fn flush(&mut self) -> AccessCost {
+        AccessCost::FREE
     }
 }
 

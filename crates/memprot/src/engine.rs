@@ -112,8 +112,15 @@ pub trait ProtectionEngine: Send {
     /// over between layers, as in the real hardware).
     fn reset_stats(&mut self);
 
-    /// Drop all cache contents and statistics (fresh chip state).
-    fn flush(&mut self);
+    /// Drop all metadata-cache contents, writing dirty lines back to DRAM.
+    /// The write-back traffic is recorded in the engine's statistics and
+    /// returned as an [`AccessCost`] so the caller can charge it to the
+    /// flushing flow — silently dropping dirty metadata undercounts DRAM
+    /// traffic. Statistics are *not* reset; combine with [`reset_stats`]
+    /// for fully fresh chip state.
+    ///
+    /// [`reset_stats`]: ProtectionEngine::reset_stats
+    fn flush(&mut self) -> AccessCost;
 }
 
 #[cfg(test)]

@@ -73,10 +73,10 @@ impl CounterTreeMemory {
     /// Hash of a counter block's current (untrusted) serialized contents.
     fn counter_block_hash(&self, counter_block: u64) -> [u8; 32] {
         let mut h = Sha256::new();
-        let bytes = self
-            .counters
-            .get(&counter_block)
-            .map_or_else(|| SplitCounterBlock::new().to_bytes(), SplitCounterBlock::to_bytes);
+        let bytes = self.counters.get(&counter_block).map_or_else(
+            || SplitCounterBlock::new().to_bytes(),
+            SplitCounterBlock::to_bytes,
+        );
         h.update(&bytes);
         h.finalize()
     }
@@ -401,10 +401,14 @@ mod tests {
         for i in 0..130u64 {
             m.write_block(Addr(0), [i as u8; 64]);
         }
-        assert!(m.counter_of(Addr(0)).expect("present") > 127, "epoch advanced");
+        assert!(
+            m.counter_of(Addr(0)).expect("present") > 127,
+            "epoch advanced"
+        );
         assert_eq!(m.read_block(Addr(0)).expect("verifies"), [129u8; 64]);
         assert_eq!(
-            m.read_block(Addr(64)).expect("sibling re-encrypted and verifies"),
+            m.read_block(Addr(64))
+                .expect("sibling re-encrypted and verifies"),
             [0xabu8; 64]
         );
     }

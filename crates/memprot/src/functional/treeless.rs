@@ -73,11 +73,7 @@ impl TreelessMemory {
     /// * [`IntegrityError::NotWritten`] — nothing stored at `addr`.
     /// * [`IntegrityError::MacMismatch`] — content, address or version is
     ///   inconsistent (tampering or replay).
-    pub fn read_block(
-        &self,
-        addr: Addr,
-        version: u64,
-    ) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+    pub fn read_block(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
         let unit = addr.block().0;
         let ct = self
             .dram

@@ -42,8 +42,15 @@ impl Layout {
     #[must_use]
     pub fn new(dram_size: u64, counters_per_block: u64) -> Self {
         assert!(dram_size > 0, "dram size must be non-zero");
-        assert_eq!(dram_size % BLOCK_SIZE as u64, 0, "dram size must be block aligned");
-        assert!(dram_size < COUNTER_BASE, "dram too large for metadata windows");
+        assert_eq!(
+            dram_size % BLOCK_SIZE as u64,
+            0,
+            "dram size must be block aligned"
+        );
+        assert!(
+            dram_size < COUNTER_BASE,
+            "dram too large for metadata windows"
+        );
         assert!(counters_per_block > 0);
         Layout {
             dram_size,

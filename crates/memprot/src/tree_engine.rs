@@ -281,12 +281,20 @@ impl ProtectionEngine for TreeBasedEngine {
         self.mac_cache.reset_stats();
     }
 
-    fn flush(&mut self) {
-        self.counter_cache.flush();
-        self.hash_cache.flush();
-        self.mac_cache.flush();
+    fn flush(&mut self) -> AccessCost {
+        let mut cost = AccessCost::FREE;
+        for (victims, bucket) in [
+            (self.counter_cache.flush(), &mut self.traffic.counter),
+            (self.hash_cache.flush(), &mut self.traffic.tree),
+            (self.mac_cache.flush(), &mut self.traffic.mac),
+        ] {
+            let bytes = victims.len() as u64 * BLOCK_SIZE as u64;
+            *bucket += bytes;
+            cost.meta_bytes += bytes;
+            cost.independent_misses += victims.len() as u64;
+        }
         self.write_counts.clear();
-        self.reset_stats();
+        cost
     }
 }
 
@@ -394,9 +402,31 @@ mod tests {
         let mut e = engine();
         e.read_block(Addr(0), 0);
         e.flush();
+        e.reset_stats();
         let cost = e.read_block(Addr(0), 0);
         assert_eq!(cost.serial_misses, 4);
         assert_eq!(e.stats().counter_cache.misses, 1);
+    }
+
+    #[test]
+    fn flush_accounts_dirty_metadata_writebacks() {
+        // Regression test: flushing used to discard dirty counter/tree/MAC
+        // lines without charging their write-back traffic.
+        let mut e = engine();
+        for i in 0..8 {
+            e.write_block(Addr(i * 64), 1);
+        }
+        let before = e.stats().traffic.metadata();
+        let cost = e.flush();
+        assert!(cost.meta_bytes > 0, "dirty metadata must be written back");
+        assert_eq!(cost.serial_misses, 0, "write-backs are independent");
+        assert_eq!(
+            e.stats().traffic.metadata(),
+            before + cost.meta_bytes,
+            "flush write-backs show up in the traffic statistics"
+        );
+        // A flush of clean caches is free.
+        assert_eq!(e.flush(), AccessCost::FREE);
     }
 
     #[test]

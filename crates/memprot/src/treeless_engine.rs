@@ -49,9 +49,7 @@ impl TreelessEngine {
         TreelessEngine {
             mac_cache: Cache::new(config.mac_cache.clone()),
             inner: TreeBasedEngine::new(inner_config),
-            version_cache: Cache::new(tnpu_sim::cache::CacheConfig::new(
-                "version", 8 << 10, 8, 64,
-            )),
+            version_cache: Cache::new(tnpu_sim::cache::CacheConfig::new("version", 8 << 10, 8, 64)),
             layout,
             config,
             traffic: TrafficStats::default(),
@@ -162,11 +160,19 @@ impl ProtectionEngine for TreelessEngine {
         self.inner.reset_stats();
     }
 
-    fn flush(&mut self) {
-        self.mac_cache.flush();
-        self.version_cache.flush();
-        self.inner.flush();
-        self.reset_stats();
+    fn flush(&mut self) -> AccessCost {
+        let mut cost = AccessCost::FREE;
+        let mac_bytes = self.mac_cache.flush().len() as u64 * BLOCK_SIZE as u64;
+        self.traffic.mac += mac_bytes;
+        cost.meta_bytes += mac_bytes;
+        cost.independent_misses += mac_bytes / BLOCK_SIZE as u64;
+        // Dirty version-table lines drain into the fully-protected region.
+        let version_bytes = self.version_cache.flush().len() as u64 * BLOCK_SIZE as u64;
+        self.traffic.version += version_bytes;
+        cost.meta_bytes += version_bytes;
+        cost.independent_misses += version_bytes / BLOCK_SIZE as u64;
+        cost.merge(self.inner.flush());
+        cost
     }
 }
 
@@ -260,7 +266,23 @@ mod tests {
         let mut e = engine();
         e.read_block(Addr(0), 1);
         e.flush();
+        e.reset_stats();
         assert_eq!(e.stats().traffic.total(), 0);
         assert!(e.read_block(Addr(0), 1).meta_bytes > 0);
+    }
+
+    #[test]
+    fn flush_accounts_dirty_mac_writebacks() {
+        // Regression test: streaming writes leave dirty MAC lines; a flush
+        // must report their write-back instead of dropping them.
+        let mut e = engine();
+        for i in 0..64 {
+            e.write_block(Addr(i * 64), 1);
+        }
+        let before = e.stats().traffic.mac;
+        let cost = e.flush();
+        assert!(cost.meta_bytes > 0, "dirty MAC lines must be written back");
+        assert!(e.stats().traffic.mac > before);
+        assert_eq!(e.flush(), AccessCost::FREE, "second flush is clean");
     }
 }

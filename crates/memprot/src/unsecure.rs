@@ -39,8 +39,8 @@ impl ProtectionEngine for UnsecureEngine {
         self.stats = EngineStats::default();
     }
 
-    fn flush(&mut self) {
-        self.reset_stats();
+    fn flush(&mut self) -> AccessCost {
+        AccessCost::FREE
     }
 }
 

@@ -95,5 +95,9 @@ fn treeless_never_uses_counters() {
     let s = engine.stats();
     assert_eq!(s.traffic.counter, 0);
     assert_eq!(s.traffic.tree, 0);
-    assert_eq!(s.counter_cache.accesses(), 0, "no version accesses -> no inner activity");
+    assert_eq!(
+        s.counter_cache.accesses(),
+        0,
+        "no version accesses -> no inner activity"
+    );
 }

@@ -3,6 +3,11 @@
 
 fn main() {
     for m in tnpu_models::registry::all_models() {
-        println!("{:6} {:8.1} MB  macs {:.2} G", m.name, m.footprint_bytes() as f64 / (1<<20) as f64, m.total_macs() as f64 / 1e9);
+        println!(
+            "{:6} {:8.1} MB  macs {:.2} G",
+            m.name,
+            m.footprint_bytes() as f64 / (1 << 20) as f64,
+            m.total_macs() as f64 / 1e9
+        );
     }
 }

@@ -36,9 +36,8 @@ pub fn transformer() -> Model {
     let d = 512;
     let d_ff = 2048;
     let seq = 256;
-    let mut b = ModelBuilder::new("tf", "Transformer", (1, seq, 1)).embedding(
-        "embed", vocab, d, seq,
-    );
+    let mut b =
+        ModelBuilder::new("tf", "Transformer", (1, seq, 1)).embedding("embed", vocab, d, seq);
     let embed = b.next_index() - 1;
     for l in 0..6 {
         let block_in = b.next_index() - 1;

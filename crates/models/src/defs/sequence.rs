@@ -125,7 +125,11 @@ mod tests {
         let m = text_generation();
         assert!(matches!(
             m.layers[0].kind,
-            crate::LayerKind::Embedding { vocab: 256, dim: 256, seq: 512 }
+            crate::LayerKind::Embedding {
+                vocab: 256,
+                dim: 256,
+                seq: 512
+            }
         ));
     }
 }

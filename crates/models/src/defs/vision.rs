@@ -63,7 +63,9 @@ fn inception(
         .conv(&format!("inc{tag}_5x5r"), r5, 1, 1, 0)
         .conv(&format!("inc{tag}_5x5"), n5, 5, 1, 2);
     let br3 = b.next_index() - 1;
-    b = b.from_layer(input).conv(&format!("inc{tag}_pp"), pp, 1, 1, 0);
+    b = b
+        .from_layer(input)
+        .conv(&format!("inc{tag}_pp"), pp, 1, 1, 0);
     let br4 = b.next_index() - 1;
     b.concat(&format!("inc{tag}_cat"), &[br1, br2, br3, br4])
 }
@@ -89,9 +91,13 @@ pub fn mobilenet() -> Model {
         (1024, 1),
     ];
     for (i, &(out_c, stride)) in blocks.iter().enumerate() {
-        b = b
-            .dwconv(&format!("dw{}", i + 1), 3, stride, 1)
-            .conv(&format!("pw{}", i + 1), out_c, 1, 1, 0);
+        b = b.dwconv(&format!("dw{}", i + 1), 3, stride, 1).conv(
+            &format!("pw{}", i + 1),
+            out_c,
+            1,
+            1,
+            0,
+        );
     }
     b.pool("gap", 7, 7).fc("fc", 1000).build()
 }

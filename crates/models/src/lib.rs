@@ -226,7 +226,9 @@ impl LayerKind {
     #[must_use]
     pub fn in_elements(&self) -> u64 {
         match *self {
-            LayerKind::Conv { in_c, in_h, in_w, .. } => in_c * in_h * in_w,
+            LayerKind::Conv {
+                in_c, in_h, in_w, ..
+            } => in_c * in_h * in_w,
             LayerKind::DwConv { c, in_h, in_w, .. } => c * in_h * in_w,
             LayerKind::Fc { in_f, batch, .. } => in_f * batch,
             LayerKind::MatMul { m, k, .. } => m * k,
@@ -487,7 +489,14 @@ mod tests {
         assert_eq!(c.in_elements(), 3 * 224 * 224);
         assert_eq!(c.weight_elements(), 3 * 64 * 49);
         let g = c.gemm().expect("conv lowers to gemm");
-        assert_eq!(g, Gemm { m: 112 * 112, k: 147, n: 64 });
+        assert_eq!(
+            g,
+            Gemm {
+                m: 112 * 112,
+                k: 147,
+                n: 64
+            }
+        );
         assert_eq!(c.macs(), g.macs());
     }
 
@@ -513,8 +522,19 @@ mod tests {
             out_f: 1000,
             batch: 1,
         };
-        assert_eq!(fc.gemm(), Some(Gemm { m: 1, k: 1024, n: 1000 }));
-        let mm = LayerKind::MatMul { m: 128, k: 512, n: 512 };
+        assert_eq!(
+            fc.gemm(),
+            Some(Gemm {
+                m: 1,
+                k: 1024,
+                n: 1000
+            })
+        );
+        let mm = LayerKind::MatMul {
+            m: 128,
+            k: 512,
+            n: 512,
+        };
         assert_eq!(mm.macs(), 128 * 512 * 512);
     }
 

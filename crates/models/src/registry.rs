@@ -6,8 +6,7 @@ use crate::Model;
 /// Short names of all 14 models, in the order the paper's figures plot
 /// them (Table III order).
 pub const MODEL_NAMES: [&str; 14] = [
-    "goo", "mob", "yt", "alex", "rcnn", "df", "res", "med", "tx", "agz", "sent", "ds2", "tf",
-    "ncf",
+    "goo", "mob", "yt", "alex", "rcnn", "df", "res", "med", "tx", "agz", "sent", "ds2", "tf", "ncf",
 ];
 
 /// Construct the model with the given short name.

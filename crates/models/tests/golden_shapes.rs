@@ -15,7 +15,10 @@ fn count(m: &Model, pred: fn(&LayerKind) -> bool) -> usize {
 #[test]
 fn googlenet_structure() {
     let m = model("goo");
-    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 3 + 9 * 6);
+    assert_eq!(
+        count(&m, |k| matches!(k, LayerKind::Conv { .. })),
+        3 + 9 * 6
+    );
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Concat { .. })), 9);
     // Final inception output is 1024 channels at 7x7.
     let last_cat = m
@@ -41,7 +44,10 @@ fn mobilenet_structure() {
 fn resnet50_structure() {
     let m = model("res");
     // 1 stem + 16 blocks x 3 convs + 4 downsample convs + fc.
-    assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 1 + 48 + 4);
+    assert_eq!(
+        count(&m, |k| matches!(k, LayerKind::Conv { .. })),
+        1 + 48 + 4
+    );
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Eltwise { .. })), 16);
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Fc { .. })), 1);
     assert_eq!(m.layers.last().expect("fc").kind.out_elements(), 1000);
@@ -53,7 +59,11 @@ fn vgg_backbone_structure() {
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Conv { .. })), 13 + 1);
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Pool { .. })), 4);
     // conv5_3 keeps 512 x 14 x 14.
-    let conv5_3 = m.layers.iter().find(|l| l.name == "conv5_3").expect("named");
+    let conv5_3 = m
+        .layers
+        .iter()
+        .find(|l| l.name == "conv5_3")
+        .expect("named");
     assert_eq!(conv5_3.kind.out_shape(), (512, 14, 14));
 }
 
@@ -61,11 +71,17 @@ fn vgg_backbone_structure() {
 fn transformer_structure() {
     let m = model("tf");
     // embedding + 6 x (6 matmuls + 2 adds) + tied projection.
-    assert_eq!(count(&m, |k| matches!(k, LayerKind::MatMul { .. })), 6 * 6 + 1);
+    assert_eq!(
+        count(&m, |k| matches!(k, LayerKind::MatMul { .. })),
+        6 * 6 + 1
+    );
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Eltwise { .. })), 12);
     assert_eq!(count(&m, |k| matches!(k, LayerKind::Embedding { .. })), 1);
     // Logits cover the vocabulary.
-    assert_eq!(m.layers.last().expect("proj").kind.out_shape(), (32_000, 256, 1));
+    assert_eq!(
+        m.layers.last().expect("proj").kind.out_shape(),
+        (32_000, 256, 1)
+    );
 }
 
 #[test]
@@ -81,11 +97,7 @@ fn embedding_dimensions() {
             .iter()
             .find(|l| matches!(l.kind, LayerKind::Embedding { .. }))
             .expect("has embedding");
-        assert_eq!(
-            e.kind,
-            LayerKind::Embedding { vocab, dim, seq },
-            "{name}"
-        );
+        assert_eq!(e.kind, LayerKind::Embedding { vocab, dim, seq }, "{name}");
     }
 }
 

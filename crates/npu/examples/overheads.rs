@@ -3,7 +3,10 @@
 //! harness). `cargo run --release -p tnpu-npu --example overheads`
 
 fn main() {
-    let cfgs = [tnpu_npu::NpuConfig::small_npu(), tnpu_npu::NpuConfig::large_npu()];
+    let cfgs = [
+        tnpu_npu::NpuConfig::small_npu(),
+        tnpu_npu::NpuConfig::large_npu(),
+    ];
     for cfg in &cfgs {
         println!("== {} NPU ==", cfg.name);
         let (mut bsum, mut tsum) = (0.0, 0.0);
@@ -14,12 +17,13 @@ fn main() {
             let t = tnpu_npu::simulate(&m, cfg, tnpu_memprot::SchemeKind::Treeless);
             let bo = b.total.0 as f64 / u.total.0 as f64;
             let to = t.total.0 as f64 / u.total.0 as f64;
-            bsum += bo; tsum += to;
+            bsum += bo;
+            tsum += to;
             let miss = b.engine.counter_cache.miss_rate() * 100.0;
             println!("{name:6} base {bo:5.3}  tnpu {to:5.3}  ctr-miss {miss:5.1}%  traffic b {:5.3} t {:5.3}",
                 b.total_traffic() as f64 / u.data_traffic() as f64,
                 t.total_traffic() as f64 / u.data_traffic() as f64);
         }
-        println!("avg   base {:.3}  tnpu {:.3}", bsum/14.0, tsum/14.0);
+        println!("avg   base {:.3}  tnpu {:.3}", bsum / 14.0, tsum / 14.0);
     }
 }

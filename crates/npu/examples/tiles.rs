@@ -6,16 +6,19 @@ fn main() {
     let npu = tnpu_npu::NpuConfig::small_npu();
     // (label, m, k, n, a_bytes)
     let cases = [
-        ("vgg conv4_1", 784u64, 2304u64, 512u64, 784*2304/9*2),
-        ("vgg conv2_1", 12544, 576, 128, 12544*576/9*2),
-        ("med lstm2", 768, 1536, 2048, 768*1536*2),
-        ("tx lstm2", 512, 1344, 2688, 512*1344*2),
-        ("tf ffn1", 256, 512, 2048, 256*512*2),
-        ("tf out_proj", 256, 512, 32000, 256*512*2),
-        ("sent conv", 4094, 900, 512, 4096*300*2),
+        ("vgg conv4_1", 784u64, 2304u64, 512u64, 784 * 2304 / 9 * 2),
+        ("vgg conv2_1", 12544, 576, 128, 12544 * 576 / 9 * 2),
+        ("med lstm2", 768, 1536, 2048, 768 * 1536 * 2),
+        ("tx lstm2", 512, 1344, 2688, 512 * 1344 * 2),
+        ("tf ffn1", 256, 512, 2048, 256 * 512 * 2),
+        ("tf out_proj", 256, 512, 32000, 256 * 512 * 2),
+        ("sent conv", 4094, 900, 512, 4096 * 300 * 2),
     ];
     for (label, m, k, n, ab) in cases {
         let d = choose_tiles(&npu, m, k, n, ab);
-        println!("{label:14} m{m} k{k} n{n} -> mt {} kt {} nt {} b_res {}", d.mt, d.kt, d.nt, d.b_resident);
+        println!(
+            "{label:14} m{m} k{k} n{n} -> mt {} kt {} nt {} b_res {}",
+            d.mt, d.kt, d.nt, d.b_resident
+        );
     }
 }

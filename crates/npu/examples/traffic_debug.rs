@@ -6,7 +6,10 @@ fn main() {
     for name in ["df", "goo", "sent"] {
         let m = tnpu_models::registry::model(name).unwrap();
         let cfg = tnpu_npu::NpuConfig::small_npu();
-        for scheme in [tnpu_memprot::SchemeKind::TreeBased, tnpu_memprot::SchemeKind::Treeless] {
+        for scheme in [
+            tnpu_memprot::SchemeKind::TreeBased,
+            tnpu_memprot::SchemeKind::Treeless,
+        ] {
             let r = tnpu_npu::simulate(&m, &cfg, scheme);
             let d = r.data_traffic() as f64;
             let t = r.engine.traffic;

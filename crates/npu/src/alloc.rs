@@ -8,8 +8,8 @@
 //! the owner's allocation.
 
 use tnpu_models::Model;
-use tnpu_sim::Addr;
 use tnpu_models::ELEM_BYTES;
+use tnpu_sim::Addr;
 
 /// Page alignment for tensor allocations.
 pub const TENSOR_ALIGN: u64 = 4096;

@@ -97,9 +97,6 @@ mod tests {
 
     #[test]
     fn tile_budget_is_half_spm() {
-        assert_eq!(
-            NpuConfig::small_npu().tile_budget_bytes(),
-            240 * 1024
-        );
+        assert_eq!(NpuConfig::small_npu().tile_budget_bytes(), 240 * 1024);
     }
 }

@@ -83,7 +83,13 @@ pub fn simulate_multi(
     scheme: SchemeKind,
     count: usize,
 ) -> Vec<RunReport> {
-    simulate_multi_with(model, npu, scheme, count, &ProtectionConfig::paper_default())
+    simulate_multi_with(
+        model,
+        npu,
+        scheme,
+        count,
+        &ProtectionConfig::paper_default(),
+    )
 }
 
 /// [`simulate_multi`] with an explicit protection configuration — the hook
@@ -100,9 +106,36 @@ pub fn simulate_multi_with(
     count: usize,
     protection: &ProtectionConfig,
 ) -> Vec<RunReport> {
+    simulate_multi_seeded(
+        model,
+        npu,
+        scheme,
+        count,
+        protection,
+        multi::DEFAULT_BASE_SEED,
+    )
+}
+
+/// [`simulate_multi_with`] with an explicit workload base seed: the hook
+/// experiment runners use to give every (experiment, model, config) cell
+/// its own deterministic RNG stream. Per-NPU streams are split from
+/// `base_seed` by NPU index (see [`multi::run_shared_seeded`]).
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+#[must_use]
+pub fn simulate_multi_seeded(
+    model: &Model,
+    npu: &NpuConfig,
+    scheme: SchemeKind,
+    count: usize,
+    protection: &ProtectionConfig,
+    base_seed: u64,
+) -> Vec<RunReport> {
     assert!(count > 0, "need at least one NPU");
     let engine = build_engine(scheme, protection);
-    multi::run_shared(model, npu, engine, count)
+    multi::run_shared_seeded(model, npu, engine, count, base_seed)
 }
 
 /// Simulate two back-to-back inferences of `model` on one NPU and return

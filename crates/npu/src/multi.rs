@@ -16,10 +16,16 @@ use crate::report::RunReport;
 use crate::tiler;
 use tnpu_memprot::ProtectionEngine;
 use tnpu_models::Model;
+use tnpu_sim::rng::SplitMix64;
 use tnpu_sim::Addr;
 
 /// Address-space stride between NPU contexts (512 MB each).
 pub const NPU_REGION_STRIDE: u64 = 512 << 20;
+
+/// Base seed of the default (unseeded) entry points. Every workload RNG in
+/// the simulator ultimately derives from an explicit seed so runs are
+/// bit-reproducible; this is the one used when the caller does not care.
+pub const DEFAULT_BASE_SEED: u64 = 0xC0FFEE;
 
 /// Run `count` NPUs, each inferring `model` once, over one shared engine.
 /// Returns one report per NPU (engine statistics are the shared totals).
@@ -35,9 +41,29 @@ pub fn run_shared(
     engine: Box<dyn ProtectionEngine>,
     count: usize,
 ) -> Vec<RunReport> {
+    run_shared_seeded(model, npu, engine, count, DEFAULT_BASE_SEED)
+}
+
+/// [`run_shared`] with an explicit workload base seed. Per-NPU request
+/// streams are independent streams split from `base_seed` — derived from
+/// the NPU's index within the run, never from host-thread identity, so a
+/// run's results depend only on its inputs.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or a model's tensors exceed the per-NPU
+/// region.
+#[must_use]
+pub fn run_shared_seeded(
+    model: &Model,
+    npu: &NpuConfig,
+    engine: Box<dyn ProtectionEngine>,
+    count: usize,
+    base_seed: u64,
+) -> Vec<RunReport> {
     assert!(count > 0, "need at least one NPU");
     let models: Vec<&Model> = std::iter::repeat_n(model, count).collect();
-    run_shared_mixed(&models, npu, engine)
+    run_shared_mixed_seeded(&models, npu, engine, base_seed)
 }
 
 /// Run one NPU per entry of `models` — heterogeneous tenancy: different
@@ -54,6 +80,23 @@ pub fn run_shared_mixed(
     npu: &NpuConfig,
     engine: Box<dyn ProtectionEngine>,
 ) -> Vec<RunReport> {
+    run_shared_mixed_seeded(models, npu, engine, DEFAULT_BASE_SEED)
+}
+
+/// [`run_shared_mixed`] with an explicit workload base seed (see
+/// [`run_shared_seeded`]).
+///
+/// # Panics
+///
+/// Panics if `models` is empty or a model's tensors exceed the per-NPU
+/// region.
+#[must_use]
+pub fn run_shared_mixed_seeded(
+    models: &[&Model],
+    npu: &NpuConfig,
+    engine: Box<dyn ProtectionEngine>,
+    base_seed: u64,
+) -> Vec<RunReport> {
     assert!(!models.is_empty(), "need at least one NPU");
     let mut machines: Vec<NpuMachine> = models
         .iter()
@@ -65,9 +108,11 @@ pub fn run_shared_mixed(
                 layout.total_bytes <= NPU_REGION_STRIDE,
                 "model does not fit the per-NPU region"
             );
-            // Different seeds: each NPU serves different requests (distinct
-            // embedding gathers), like independent inference streams.
-            NpuMachine::new(tiler::plan(model, npu, &layout, 0xC0FFEE + i as u64))
+            // Different streams: each NPU serves different requests
+            // (distinct embedding gathers), like independent inference
+            // streams — split per NPU index, never per worker thread.
+            let seed = SplitMix64::stream(base_seed, i as u64).next_u64();
+            NpuMachine::new(tiler::plan(model, npu, &layout, seed))
         })
         .collect();
     let mut ctl = MemoryController::new(engine, npu);
@@ -82,10 +127,7 @@ pub fn run_shared_mixed(
             None => break,
         }
     }
-    machines
-        .into_iter()
-        .map(|m| m.into_report(&ctl))
-        .collect()
+    machines.into_iter().map(|m| m.into_report(&ctl)).collect()
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ mod tests {
     #[test]
     fn single_fold_tile() {
         let npu = NpuConfig::small_npu(); // 32x32
-        // Kt=32, Nt=32 -> one fold; Mt=100 -> 100 + 64 + 32 - 2 = 194.
+                                          // Kt=32, Nt=32 -> one fold; Mt=100 -> 100 + 64 + 32 - 2 = 194.
         assert_eq!(gemm_tile_cycles(&npu, 100, 32, 32), Cycles(194));
     }
 

@@ -143,9 +143,7 @@ pub fn choose_tiles(npu: &NpuConfig, m: u64, k: u64, n: u64, a_bytes: u64) -> Ti
                 };
                 let better = match best {
                     None => true,
-                    Some((c, d)) => {
-                        cost < c || (cost == c && mt * kt * nt > d.mt * d.kt * d.nt)
-                    }
+                    Some((c, d)) => cost < c || (cost == c && mt * kt * nt > d.mt * d.kt * d.nt),
                 };
                 if better {
                     best = Some((cost, dims));
@@ -153,13 +151,12 @@ pub fn choose_tiles(npu: &NpuConfig, m: u64, k: u64, n: u64, a_bytes: u64) -> Ti
             }
         }
     }
-    best.map(|(_, d)| d)
-        .unwrap_or_else(|| {
-            panic!(
-                "no feasible tiling for {m}x{k}x{n} in {} B SPM",
-                npu.spm_bytes
-            )
-        })
+    best.map(|(_, d)| d).unwrap_or_else(|| {
+        panic!(
+            "no feasible tiling for {m}x{k}x{n} in {} B SPM",
+            npu.spm_bytes
+        )
+    })
 }
 
 /// Lower `model` to a [`ModelPlan`] for `npu`. `seed` fixes the embedding
@@ -291,7 +288,9 @@ fn lower_gemm(
                 } else {
                     loads.push(Transfer {
                         pattern: DmaPattern::Contiguous {
-                            base: a_src.addr.offset(m0 * a_row_stride + k0 * mt * a_row_stride / k),
+                            base: a_src
+                                .addr
+                                .offset(m0 * a_row_stride + k0 * mt * a_row_stride / k),
                             bytes: mt * kt * a_row_stride / k,
                         },
                         dir: Dir::Read,
@@ -456,13 +455,20 @@ fn lower_pool(
     let out = layout.outputs[li];
     let total_out = out.bytes;
     let ratio = (src.bytes / total_out.max(1)).max(1);
-    let chunk_out = (npu.spm_bytes / (2 * (ratio + 1))).max(64).min(total_out.max(1));
+    let chunk_out = (npu.spm_bytes / (2 * (ratio + 1)))
+        .max(64)
+        .min(total_out.max(1));
     let mut off = 0u64;
     let mut tile = 0u32;
     while off < total_out {
         let out_bytes = chunk_out.min(total_out - off);
         let in_bytes = (out_bytes * ratio).min(src.bytes);
-        let loads = vec![contiguous_read(src, (off * ratio).min(src.bytes.saturating_sub(in_bytes)), in_bytes, tile)];
+        let loads = vec![contiguous_read(
+            src,
+            (off * ratio).min(src.bytes.saturating_sub(in_bytes)),
+            in_bytes,
+            tile,
+        )];
         let stores = vec![Transfer {
             pattern: DmaPattern::Contiguous {
                 base: out.addr.offset(off),
@@ -555,12 +561,7 @@ mod tests {
         let layout = ModelLayout::allocate(&model, Addr(0));
         let p = plan(&model, &npu, &layout, 1);
         // Weights must be loaded at least once each.
-        let weight_bytes: u64 = layout
-            .weights
-            .iter()
-            .flatten()
-            .map(|w| w.bytes)
-            .sum();
+        let weight_bytes: u64 = layout.weights.iter().flatten().map(|w| w.bytes).sum();
         assert!(p.data_bytes() >= weight_bytes);
         // And reload traffic should not explode beyond ~8x the footprint.
         assert!(
@@ -651,7 +652,10 @@ mod tests {
         for job in &p.jobs[s..e] {
             for t in &job.loads {
                 if t.tensor_id == weight_id {
-                    if let DmaPattern::Strided { stride, row_bytes, .. } = t.pattern {
+                    if let DmaPattern::Strided {
+                        stride, row_bytes, ..
+                    } = t.pattern
+                    {
                         assert_eq!(stride, 32_000 * ELEM_BYTES);
                         assert!(row_bytes < 4096, "rows must be far smaller than stride");
                         saw_strided = true;

@@ -170,7 +170,12 @@ impl Cache {
     /// Build an empty cache with the given geometry.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        let sets = vec![Vec::with_capacity(config.ways); config.sets()];
+        // `vec![v; n]` clones `v`, and `Vec: Clone` clones only contents —
+        // not capacity — so each set must be allocated individually or every
+        // set re-allocates (up to log2(ways) times) during warm-up.
+        let sets = (0..config.sets())
+            .map(|_| Vec::with_capacity(config.ways))
+            .collect();
         Cache {
             config,
             sets,
@@ -196,13 +201,30 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    /// Drop all contents and statistics.
-    pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+    /// Drop all contents, returning the base addresses of dirty lines in
+    /// address order — each is a write-back the caller must account as DRAM
+    /// traffic (as with [`invalidate`]); dropping them silently undercounts
+    /// traffic for any flow that flushes metadata caches mid-run. Each
+    /// reported victim also counts toward [`CacheStats::writebacks`].
+    /// Statistics are preserved; use [`reset_stats`] to clear them.
+    ///
+    /// [`invalidate`]: Cache::invalidate
+    /// [`reset_stats`]: Cache::reset_stats
+    pub fn flush(&mut self) -> Vec<Addr> {
+        let line_size = self.config.line_size as u64;
+        let sets = self.sets.len() as u64;
+        let mut victims = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for line in set.drain(..) {
+                if line.dirty {
+                    let line_no = line.tag * sets + set_idx as u64;
+                    victims.push(Addr(line_no * line_size));
+                }
+            }
         }
-        self.stats = CacheStats::default();
-        self.tick = 0;
+        victims.sort_unstable();
+        self.stats.writebacks += victims.len() as u64;
+        victims
     }
 
     fn index(&self, addr: Addr) -> (usize, u64) {
@@ -370,12 +392,52 @@ mod tests {
     }
 
     #[test]
-    fn flush_clears_everything() {
+    fn flush_clears_contents_keeps_stats() {
         let mut c = small();
         c.access(Addr(0), AccessKind::Write);
         c.flush();
         assert!(!c.probe(Addr(0)));
+        assert_eq!(c.stats().accesses(), 1, "flush preserves statistics");
+        c.reset_stats();
         assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn flush_reports_dirty_victims() {
+        // Regression test: flush used to drop dirty lines silently, losing
+        // the write-back traffic they represent.
+        let mut c = small();
+        c.access(Addr(0), AccessKind::Write); // line 0, set 0 — dirty
+        c.access(Addr(64), AccessKind::Read); // line 1, set 1 — clean
+        c.access(Addr(192), AccessKind::Write); // line 3, set 1 — dirty
+        let victims = c.flush();
+        assert_eq!(
+            victims,
+            vec![Addr(0), Addr(192)],
+            "dirty lines only, in order"
+        );
+        assert_eq!(c.stats().writebacks, 2);
+        // A second flush finds nothing.
+        assert!(c.flush().is_empty());
+        assert_eq!(c.stats().writebacks, 2);
+    }
+
+    #[test]
+    fn flush_matches_invalidate_accounting() {
+        let mut a = small();
+        let mut b = small();
+        for cache in [&mut a, &mut b] {
+            cache.access(Addr(0), AccessKind::Write);
+            cache.access(Addr(192), AccessKind::Write);
+        }
+        let flushed = a.flush();
+        let mut invalidated: Vec<Addr> = [Addr(0), Addr(192)]
+            .iter()
+            .filter_map(|&x| b.invalidate(x))
+            .collect();
+        invalidated.sort_unstable();
+        assert_eq!(flushed, invalidated);
+        assert_eq!(a.stats().writebacks, b.stats().writebacks);
     }
 
     #[test]

@@ -17,7 +17,17 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 /// assert_eq!(a, Cycles(160));
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Cycles(pub u64);
 

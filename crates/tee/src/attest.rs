@@ -29,7 +29,8 @@ pub struct AttestationAuthority {
 
 impl std::fmt::Debug for AttestationAuthority {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AttestationAuthority").finish_non_exhaustive()
+        f.debug_struct("AttestationAuthority")
+            .finish_non_exhaustive()
     }
 }
 
@@ -82,9 +83,16 @@ mod tests {
         let mut eepcm = Eepcm::new();
         let mut pt = PageTable::new();
         mgr.add_page(
-            &mut eepcm, &mut pt, id, Vpn(1), Ppn(10),
-            RegionKind::FullyProtected, Perms::RX, content,
-        ).expect("add page");
+            &mut eepcm,
+            &mut pt,
+            id,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::FullyProtected,
+            Perms::RX,
+            content,
+        )
+        .expect("add page");
         (mgr, id)
     }
 

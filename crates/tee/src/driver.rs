@@ -159,7 +159,8 @@ mod tests {
     fn acquire_issue_release() {
         let mut d = NpuDriverEnclave::new(DRIVER, 2);
         let npu = d.acquire(USER).expect("free npu");
-        d.issue(USER, npu, NpuCommand::Mvin { version: 1 }).expect("owner");
+        d.issue(USER, npu, NpuCommand::Mvin { version: 1 })
+            .expect("owner");
         d.issue(USER, npu, NpuCommand::Compute).expect("owner");
         assert_eq!(d.commands_issued(), 2);
         d.release(USER, npu).expect("owner");

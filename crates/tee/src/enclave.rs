@@ -239,23 +239,44 @@ mod tests {
     fn measurement_depends_on_content_and_layout() {
         let (mut mgr, mut eepcm, mut pt, id) = setup();
         mgr.add_page(
-            &mut eepcm, &mut pt, id, Vpn(1), Ppn(10),
-            RegionKind::FullyProtected, Perms::RX, b"code-v1",
-        ).expect("add");
+            &mut eepcm,
+            &mut pt,
+            id,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::FullyProtected,
+            Perms::RX,
+            b"code-v1",
+        )
+        .expect("add");
         let m1 = mgr.get(id).expect("exists").measure();
 
         let (mut mgr2, mut eepcm2, mut pt2, id2) = setup();
         mgr2.add_page(
-            &mut eepcm2, &mut pt2, id2, Vpn(1), Ppn(10),
-            RegionKind::FullyProtected, Perms::RX, b"code-v2",
-        ).expect("add");
+            &mut eepcm2,
+            &mut pt2,
+            id2,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::FullyProtected,
+            Perms::RX,
+            b"code-v2",
+        )
+        .expect("add");
         assert_ne!(m1, mgr2.get(id2).expect("exists").measure());
 
         let (mut mgr3, mut eepcm3, mut pt3, id3) = setup();
         mgr3.add_page(
-            &mut eepcm3, &mut pt3, id3, Vpn(2), Ppn(10),
-            RegionKind::FullyProtected, Perms::RX, b"code-v1",
-        ).expect("add");
+            &mut eepcm3,
+            &mut pt3,
+            id3,
+            Vpn(2),
+            Ppn(10),
+            RegionKind::FullyProtected,
+            Perms::RX,
+            b"code-v1",
+        )
+        .expect("add");
         assert_ne!(m1, mgr3.get(id3).expect("exists").measure(), "vpn matters");
     }
 
@@ -273,13 +294,26 @@ mod tests {
         let (mut mgr, mut eepcm, mut pt, id) = setup();
         let id2 = mgr.create();
         mgr.add_page(
-            &mut eepcm, &mut pt, id, Vpn(1), Ppn(10),
-            RegionKind::Treeless, Perms::RW, b"",
-        ).expect("add");
+            &mut eepcm,
+            &mut pt,
+            id,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"",
+        )
+        .expect("add");
         assert_eq!(
             mgr.add_page(
-                &mut eepcm, &mut pt, id2, Vpn(5), Ppn(10),
-                RegionKind::Treeless, Perms::RW, b"",
+                &mut eepcm,
+                &mut pt,
+                id2,
+                Vpn(5),
+                Ppn(10),
+                RegionKind::Treeless,
+                Perms::RW,
+                b"",
             ),
             Err(EnclaveError::PageBusy(Ppn(10)))
         );
@@ -289,9 +323,16 @@ mod tests {
     fn treeless_pages_enable_macs() {
         let (mut mgr, mut eepcm, mut pt, id) = setup();
         mgr.add_page(
-            &mut eepcm, &mut pt, id, Vpn(1), Ppn(10),
-            RegionKind::Treeless, Perms::RW, b"",
-        ).expect("add");
+            &mut eepcm,
+            &mut pt,
+            id,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"",
+        )
+        .expect("add");
         match eepcm.state(Ppn(10)) {
             crate::epcm::PageState::Protected { mac_enabled, .. } => assert!(mac_enabled),
             other => panic!("unexpected state {other:?}"),

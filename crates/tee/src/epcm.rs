@@ -8,7 +8,7 @@
 //! must be mapped at, and its permissions. The hardware consults this map
 //! on every TLB miss (CPU MMU and NPU IOMMU alike).
 
-use crate::{AccessError, Access, EnclaveId, Perms, Ppn, Vpn};
+use crate::{Access, AccessError, EnclaveId, Perms, Ppn, Vpn};
 use std::collections::HashMap;
 
 /// State of one physical page.
@@ -152,24 +152,24 @@ mod tests {
 
     fn map_with_page() -> Eepcm {
         let mut m = Eepcm::new();
-        m.assign(Ppn(100), E1, Vpn(7), Perms::RW, true).expect("free page");
+        m.assign(Ppn(100), E1, Vpn(7), Perms::RW, true)
+            .expect("free page");
         m
     }
 
     #[test]
     fn assign_and_validate() {
         let m = map_with_page();
-        m.validate(E1, Vpn(7), Ppn(100), Access::Read).expect("valid");
-        m.validate(E1, Vpn(7), Ppn(100), Access::Write).expect("valid");
+        m.validate(E1, Vpn(7), Ppn(100), Access::Read)
+            .expect("valid");
+        m.validate(E1, Vpn(7), Ppn(100), Access::Write)
+            .expect("valid");
     }
 
     #[test]
     fn double_assign_rejected() {
         let mut m = map_with_page();
-        assert_eq!(
-            m.assign(Ppn(100), E2, Vpn(9), Perms::RW, true),
-            Err(E1)
-        );
+        assert_eq!(m.assign(Ppn(100), E2, Vpn(9), Perms::RW, true), Err(E1));
     }
 
     #[test]
@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn permissions_enforced() {
         let mut m = Eepcm::new();
-        m.assign(Ppn(5), E1, Vpn(1), Perms::RO, true).expect("free page");
+        m.assign(Ppn(5), E1, Vpn(1), Perms::RO, true)
+            .expect("free page");
         assert!(m.validate(E1, Vpn(1), Ppn(5), Access::Read).is_ok());
         assert_eq!(
             m.validate(E1, Vpn(1), Ppn(5), Access::Write),
@@ -223,6 +224,7 @@ mod tests {
         assert!(m.release(Ppn(100), E2).is_err(), "only owner releases");
         m.release(Ppn(100), E1).expect("owner releases");
         assert_eq!(m.protected_pages(), 0);
-        m.assign(Ppn(100), E2, Vpn(3), Perms::RX, false).expect("now free");
+        m.assign(Ppn(100), E2, Vpn(3), Perms::RX, false)
+            .expect("now free");
     }
 }

@@ -155,16 +155,24 @@ mod tests {
         let mut pt = PageTable::new();
         let mut eepcm = Eepcm::new();
         pt.map(Vpn(1), Ppn(100));
-        eepcm.assign(Ppn(100), E1, Vpn(1), Perms::RW, true).expect("free");
+        eepcm
+            .assign(Ppn(100), E1, Vpn(1), Perms::RW, true)
+            .expect("free");
         (pt, eepcm, Mmu::new(E1, 4))
     }
 
     #[test]
     fn miss_validates_then_hits() {
         let (pt, eepcm, mut mmu) = setup();
-        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        assert_eq!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Ok(Ppn(100))
+        );
         assert_eq!(mmu.stats().fills, 1);
-        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        assert_eq!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Ok(Ppn(100))
+        );
         assert_eq!(mmu.stats().hits, 1);
     }
 
@@ -173,7 +181,9 @@ mod tests {
         let (mut pt, mut eepcm, mut mmu) = setup();
         // A second page of the victim at vpn 2.
         pt.map(Vpn(2), Ppn(101));
-        eepcm.assign(Ppn(101), E1, Vpn(2), Perms::RW, true).expect("free");
+        eepcm
+            .assign(Ppn(101), E1, Vpn(2), Perms::RW, true)
+            .expect("free");
         // The OS swaps the two mappings (remap attack).
         pt.map(Vpn(1), Ppn(101));
         assert!(matches!(
@@ -188,7 +198,9 @@ mod tests {
     fn cross_enclave_mapping_caught() {
         let (mut pt, mut eepcm, mut mmu) = setup();
         // The OS maps the victim's vpn to an attacker enclave's page.
-        eepcm.assign(Ppn(200), E2, Vpn(9), Perms::RW, true).expect("free");
+        eepcm
+            .assign(Ppn(200), E2, Vpn(9), Perms::RW, true)
+            .expect("free");
         pt.map(Vpn(3), Ppn(200));
         assert!(matches!(
             mmu.translate(&pt, &eepcm, Vpn(3), Access::Read),
@@ -211,10 +223,14 @@ mod tests {
         // The validated-TLB invariant: entries validated once stay usable;
         // releasing a page requires a TLB shootdown, which flush_tlb models.
         let (mut pt, eepcm, mut mmu) = setup();
-        mmu.translate(&pt, &eepcm, Vpn(1), Access::Read).expect("fill");
+        mmu.translate(&pt, &eepcm, Vpn(1), Access::Read)
+            .expect("fill");
         pt.unmap(Vpn(1));
         // Still hits: the TLB caches the validated translation.
-        assert_eq!(mmu.translate(&pt, &eepcm, Vpn(1), Access::Read), Ok(Ppn(100)));
+        assert_eq!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Ok(Ppn(100))
+        );
         mmu.flush_tlb();
         assert!(matches!(
             mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
@@ -232,7 +248,8 @@ mod tests {
                 .expect("free");
         }
         for i in 1..=5u64 {
-            mmu.translate(&pt, &eepcm, Vpn(i), Access::Read).expect("valid");
+            mmu.translate(&pt, &eepcm, Vpn(i), Access::Read)
+                .expect("valid");
         }
         // Capacity 4: vpn 1 (least recently used) was evicted.
         assert!(!mmu.cached(Vpn(1)));
@@ -243,7 +260,9 @@ mod tests {
     fn write_to_readonly_page_denied() {
         let (mut pt, mut eepcm, mut mmu) = setup();
         pt.map(Vpn(6), Ppn(300));
-        eepcm.assign(Ppn(300), E1, Vpn(6), Perms::RO, true).expect("free");
+        eepcm
+            .assign(Ppn(300), E1, Vpn(6), Perms::RO, true)
+            .expect("free");
         assert!(mmu.translate(&pt, &eepcm, Vpn(6), Access::Read).is_ok());
         assert!(matches!(
             mmu.translate(&pt, &eepcm, Vpn(6), Access::Write),

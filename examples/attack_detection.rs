@@ -24,13 +24,19 @@ fn main() {
     );
 
     mem.dram_mut().block_mut(Addr(0)).expect("written")[5] ^= 1;
-    println!("bit-flip on the bus:   {:?}", mem.read_block(Addr(0), 1).expect_err("detected"));
+    println!(
+        "bit-flip on the bus:   {:?}",
+        mem.read_block(Addr(0), 1).expect_err("detected")
+    );
     mem.write_block(Addr(0), 1, secret); // repair
 
     let snapshot = mem.snapshot(Addr(0)).expect("written");
     mem.write_block(Addr(0), 2, [0u8; 64]); // victim updates (version 2)
     mem.restore(Addr(0), snapshot); // attacker replays version-1 state
-    println!("replay of stale data:  {:?}", mem.read_block(Addr(0), 2).expect_err("detected"));
+    println!(
+        "replay of stale data:  {:?}",
+        mem.read_block(Addr(0), 2).expect_err("detected")
+    );
 
     println!("\n== baseline (counter-tree) protected memory ==");
     let mut tree = CounterTreeMemory::new(Key128::derive(b"demo"), 1 << 16);
@@ -38,9 +44,15 @@ fn main() {
     let snap = tree.snapshot(Addr(0)).expect("written");
     tree.write_block(Addr(0), [0u8; 64]);
     tree.restore(Addr(0), snap); // replays data + MAC + counter together
-    println!("replay vs the tree:    {:?}", tree.read_block(Addr(0)).expect_err("detected"));
+    println!(
+        "replay vs the tree:    {:?}",
+        tree.read_block(Addr(0)).expect_err("detected")
+    );
     tree.tamper_counter(Addr(0), 99);
-    println!("counter tampering:     {:?}", tree.read_block(Addr(0)).expect_err("detected"));
+    println!(
+        "counter tampering:     {:?}",
+        tree.read_block(Addr(0)).expect_err("detected")
+    );
 
     println!("\n== attack against a live secure inference ==");
     let model = registry::model("df").expect("registered");
@@ -61,5 +73,8 @@ fn main() {
     println!("\nall attacks detected; an untampered rerun verifies end to end:");
     let mut clean = SecureRunner::new(&model, Key128::derive(b"victim"), 3);
     clean.run().expect("clean");
-    println!("clean run produced {} verified output bytes", clean.read_output().expect("ok").len());
+    println!(
+        "clean run produced {} verified output bytes",
+        clean.read_output().expect("ok").len()
+    );
 }

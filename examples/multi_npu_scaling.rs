@@ -23,7 +23,10 @@ fn main() {
     for name in models {
         let model = registry::model(name).expect("registered");
         println!("== {} on the small NPU ==", model.full_name);
-        println!("{:>5} {:>10} {:>10} {:>12}", "NPUs", "baseline", "tnpu", "improvement");
+        println!(
+            "{:>5} {:>10} {:>10} {:>12}",
+            "NPUs", "baseline", "tnpu", "improvement"
+        );
         for count in 1..=3usize {
             let unsec = slowest(
                 &TnpuSystem::new(NpuConfig::small_npu(), Scheme::Unsecure)

@@ -19,7 +19,13 @@ fn main() {
     );
 
     for npu in NpuConfig::paper_configs() {
-        println!("== {} NPU ({}x{} PEs, {} KB SPM) ==", npu.name, npu.rows, npu.cols, npu.spm_bytes >> 10);
+        println!(
+            "== {} NPU ({}x{} PEs, {} KB SPM) ==",
+            npu.name,
+            npu.rows,
+            npu.cols,
+            npu.spm_bytes >> 10
+        );
         let unsecure = TnpuSystem::new(npu.clone(), Scheme::Unsecure)
             .run_inference(&model)
             .expect("valid model");

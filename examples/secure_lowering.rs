@@ -14,17 +14,31 @@ use tnpu_core::instr::{lower_secure, replay, SecureInstr};
 
 fn render(i: &SecureInstr) -> String {
     match *i {
-        SecureInstr::TsWriteTensor { tensor, bytes, version } => {
+        SecureInstr::TsWriteTensor {
+            tensor,
+            bytes,
+            version,
+        } => {
             format!("ts_write_tensor  t{tensor:<3} {bytes:>9} B        v{version}")
         }
         SecureInstr::Expand { tensor, tiles } => {
             format!("expand           t{tensor:<3} -> {tiles} tile versions")
         }
-        SecureInstr::MvinV { tensor, tile, version, bytes } => {
+        SecureInstr::MvinV {
+            tensor,
+            tile,
+            version,
+            bytes,
+        } => {
             format!("mvin_v           t{tensor:<3} tile {tile:<4} {bytes:>8} B  v{version}")
         }
         SecureInstr::Compute { cycles } => format!("compute          {cycles}"),
-        SecureInstr::MvoutV { tensor, tile, version, bytes } => {
+        SecureInstr::MvoutV {
+            tensor,
+            tile,
+            version,
+            bytes,
+        } => {
             format!("mvout_v          t{tensor:<3} tile {tile:<4} {bytes:>8} B  v{version}")
         }
         SecureInstr::Merge { tensor, version } => {
@@ -56,8 +70,13 @@ fn main() {
     for i in stream.iter().take(4) {
         println!("  {}", render(i));
     }
-    println!("  ... ({} tensors initialized)\n",
-        stream.iter().filter(|i| matches!(i, SecureInstr::TsWriteTensor { .. })).count());
+    println!(
+        "  ... ({} tensors initialized)\n",
+        stream
+            .iter()
+            .filter(|i| matches!(i, SecureInstr::TsWriteTensor { .. }))
+            .count()
+    );
 
     // Show one full layer: find the first Expand and print until its Merge.
     let start = stream

@@ -9,7 +9,6 @@
 
 use tnpu::core::{Scheme, TnpuSystem};
 use tnpu::crypto::Key128;
-use tnpu_core::sensor::{Sensor, SensorReceiver};
 use tnpu::models::registry;
 use tnpu::npu::config::NpuConfig;
 use tnpu::tee::attest::AttestationAuthority;
@@ -19,6 +18,7 @@ use tnpu::tee::epcm::Eepcm;
 use tnpu::tee::mmu::Mmu;
 use tnpu::tee::pagetable::PageTable;
 use tnpu::tee::{Access, Perms, Ppn, Vpn};
+use tnpu_core::sensor::{Sensor, SensorReceiver};
 
 fn main() {
     // --- 1. Enclave setup: the ML application is loaded into a measured
@@ -29,14 +29,32 @@ fn main() {
     let driver_id = manager.create();
     let app_id = manager.create();
     manager
-        .add_page(&mut eepcm, &mut page_table, app_id, Vpn(0x100), Ppn(0x800),
-                  RegionKind::FullyProtected, Perms::RX, b"ml-app-code-v1")
+        .add_page(
+            &mut eepcm,
+            &mut page_table,
+            app_id,
+            Vpn(0x100),
+            Ppn(0x800),
+            RegionKind::FullyProtected,
+            Perms::RX,
+            b"ml-app-code-v1",
+        )
         .expect("code page");
     manager
-        .add_page(&mut eepcm, &mut page_table, app_id, Vpn(0x200), Ppn(0x900),
-                  RegionKind::Treeless, Perms::RW, b"")
+        .add_page(
+            &mut eepcm,
+            &mut page_table,
+            app_id,
+            Vpn(0x200),
+            Ppn(0x900),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"",
+        )
         .expect("tensor page");
-    manager.set_nelrange(app_id, 0x20_0000..0x40_0000).expect("range");
+    manager
+        .set_nelrange(app_id, 0x20_0000..0x40_0000)
+        .expect("range");
     let measurement = manager.initialize(app_id).expect("finalize");
     println!("enclave {app_id} measured: {:02x?}...", &measurement[..8]);
 
@@ -51,7 +69,9 @@ fn main() {
     // cannot command it.
     let mut driver = NpuDriverEnclave::new(driver_id, 1);
     let npu = driver.acquire(app_id).expect("free NPU");
-    driver.issue(app_id, npu, NpuCommand::Compute).expect("owner commands");
+    driver
+        .issue(app_id, npu, NpuCommand::Compute)
+        .expect("owner commands");
     let intruder = manager.create();
     assert!(driver.issue(intruder, npu, NpuCommand::Compute).is_err());
     println!("driver enclave: owner may command the NPU, intruder rejected");
@@ -75,7 +95,10 @@ fn main() {
     let mut receiver = SensorReceiver::new(session);
     let frame = sensor.capture(b"camera frame #1");
     let sample = receiver.receive(&frame).expect("fresh frame verifies");
-    println!("sensor frame verified and decrypted: {} bytes", sample.len());
+    println!(
+        "sensor frame verified and decrypted: {} bytes",
+        sample.len()
+    );
     assert!(receiver.receive(&frame).is_err(), "replayed frame rejected");
     println!("replayed sensor frame rejected");
 

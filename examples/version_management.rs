@@ -30,7 +30,11 @@ fn main() {
     }
     let merged = table.merge(c).expect("uniform tiles merge");
     println!("all tiles equal -> merged into a single version {merged}");
-    println!("table storage now {} B (peak {} B)\n", table.storage_bytes(), table.peak_storage_bytes());
+    println!(
+        "table storage now {} B (peak {} B)\n",
+        table.storage_bytes(),
+        table.peak_storage_bytes()
+    );
 
     // --- Fig. 7: in ResNet50, the residual Add writes tensor D, so only
     // D's version moves; the tensors it reads keep theirs.
@@ -49,11 +53,20 @@ fn main() {
     t.register(input_d);
     t.bump(input_a).expect("A produced");
     t.bump(input_d).expect("D produced");
-    let before = (t.version(input_a, 0).expect("a"), t.version(input_d, 0).expect("d"));
+    let before = (
+        t.version(input_a, 0).expect("a"),
+        t.version(input_d, 0).expect("d"),
+    );
     // Add(A, previous) -> D is updated in place in the paper's figure:
     let after_d = t.bump(input_d).expect("Add writes D");
-    println!("before add: version(A)={}, version(D)={}", before.0, before.1);
-    println!("after  add: version(A)={}, version(D)={after_d}", t.version(input_a, 0).expect("a"));
+    println!(
+        "before add: version(A)={}, version(D)={}",
+        before.0, before.1
+    );
+    println!(
+        "after  add: version(A)={}, version(D)={after_d}",
+        t.version(input_a, 0).expect("a")
+    );
 
     // --- §IV-D: table storage for the full ResNet50 stays KB-scale.
     let layout = tnpu::npu::alloc::ModelLayout::allocate(&model, tnpu::sim::Addr(0));

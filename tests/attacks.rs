@@ -26,10 +26,28 @@ fn malicious_os_cannot_cross_enclaves() {
     let victim = manager.create();
     let attacker = manager.create();
     manager
-        .add_page(&mut eepcm, &mut victim_table, victim, Vpn(1), Ppn(100), RegionKind::Treeless, Perms::RW, b"v")
+        .add_page(
+            &mut eepcm,
+            &mut victim_table,
+            victim,
+            Vpn(1),
+            Ppn(100),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"v",
+        )
         .expect("victim page");
     manager
-        .add_page(&mut eepcm, &mut attacker_table, attacker, Vpn(1), Ppn(200), RegionKind::Treeless, Perms::RW, b"a")
+        .add_page(
+            &mut eepcm,
+            &mut attacker_table,
+            attacker,
+            Vpn(1),
+            Ppn(200),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"a",
+        )
         .expect("attacker page");
 
     // The OS maps a page of the attacker's address space onto the
@@ -83,7 +101,10 @@ fn every_bit_flip_is_detected() {
             dram[byte] ^= 1 << bit; // repair
         }
     }
-    assert!(treeless.read_block(Addr(0), 1).is_ok(), "repaired block verifies");
+    assert!(
+        treeless.read_block(Addr(0), 1).is_ok(),
+        "repaired block verifies"
+    );
 }
 
 /// Replay protection equivalence (§III-B): the tree detects replay via the

@@ -75,7 +75,10 @@ fn fig15_traffic_ordering() {
         let tnpu = simulate(&m, &small, SchemeKind::Treeless);
         let base_ratio = tree.total_traffic() as f64 / unsec.data_traffic() as f64;
         let tnpu_ratio = tnpu.total_traffic() as f64 / unsec.data_traffic() as f64;
-        assert!(base_ratio > tnpu_ratio, "{model}: {base_ratio:.3} vs {tnpu_ratio:.3}");
+        assert!(
+            base_ratio > tnpu_ratio,
+            "{model}: {base_ratio:.3} vs {tnpu_ratio:.3}"
+        );
         assert!(
             (1.10..1.35).contains(&tnpu_ratio),
             "{model}: tnpu traffic {tnpu_ratio:.3} should be MAC-dominated"

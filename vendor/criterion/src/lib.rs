@@ -1,0 +1,174 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput
+//! annotation, `Bencher::iter`) as a plain wall-clock harness: each
+//! benchmark is warmed up, then timed over enough iterations to cover a
+//! fixed measurement window, and a single `ns/iter` line is printed. No
+//! statistics, plotting, or HTML reports — swap in the real crate when a
+//! registry is reachable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; only affects the printed rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's timed closure.
+pub struct Bencher {
+    /// Measured mean duration of one iteration.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up briefly, then measuring over enough
+    /// iterations to fill the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const MEASURE: Duration = Duration::from_millis(120);
+
+        // Warm-up: also discovers an iteration-count estimate.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < WARMUP || iters == 0 {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / iters as f64;
+        let timed_iters = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..timed_iters {
+            black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / u32::try_from(timed_iters).unwrap_or(u32::MAX);
+    }
+}
+
+/// A named collection of benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark and print its timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, None, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut F,
+    ) {
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let ns = bencher.elapsed_per_iter.as_nanos();
+        let secs = bencher.elapsed_per_iter.as_secs_f64();
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if secs > 0.0 => {
+                format!("  ({:.1} MiB/s)", b as f64 / secs / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) if secs > 0.0 => {
+                format!("  ({:.2} Melem/s)", e as f64 / secs / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{id:<40} {ns:>12} ns/iter{rate}");
+    }
+}
+
+/// Declare a group function running each listed benchmark; mirrors
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`; mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("spin", |b| {
+            b.iter(|| black_box(1u64 + 1));
+        });
+        group.finish();
+    }
+}

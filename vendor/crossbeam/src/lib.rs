@@ -1,0 +1,105 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Only the `crossbeam::thread` scoped-spawn API used by this workspace is
+//! provided, implemented directly over [`std::thread::scope`] (stable since
+//! Rust 1.63, which predates this toolchain). Semantics match crossbeam's:
+//! spawned threads may borrow from the enclosing stack frame and are joined
+//! before `scope` returns.
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// A scope for spawning borrowing threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; mirrors
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope, run `f` inside it, and join every spawned thread
+    /// before returning.
+    ///
+    /// crossbeam returns `Err` with the first panic payload when a child
+    /// panicked and its handle was not joined; with `std::thread::scope`
+    /// such a panic propagates out of the scope instead, so this stub
+    /// catches it to preserve the `Result` contract callers match on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of `f` or of an unjoined child thread.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope");
+            assert_eq!(sum, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let r = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().expect("inner"))
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(r, 7);
+        }
+
+        #[test]
+        fn child_panic_reported_as_err() {
+            let r = super::scope(|s| {
+                s.spawn::<_, ()>(|_| panic!("child dies"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

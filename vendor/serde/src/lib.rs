@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros from the stub `serde_derive`, so code written against
+//! the real serde API (`#[derive(serde::Serialize, serde::Deserialize)]`)
+//! compiles unchanged in this offline build environment. No serialization is
+//! performed anywhere in the workspace; replace with the real crates when a
+//! registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods, no lifetime —
+/// the stub derive never implements it).
+pub trait Deserialize {}
