@@ -1,0 +1,22 @@
+# Convenience aliases for the checks CI runs. `make check` is the full gate.
+
+.PHONY: build test fmt clippy lint check
+
+build:
+	cargo build --release --workspace --locked
+
+test:
+	cargo test -q --workspace --locked
+
+fmt:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets --locked -- -D warnings
+
+# Workspace-policy linter (determinism / unit-safety / security-hygiene
+# rules); --deny-all turns every finding into a nonzero exit. See LINTS.md.
+lint:
+	cargo run -p tnpu-lint --release --locked -- --deny-all
+
+check: build test fmt clippy lint

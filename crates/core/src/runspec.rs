@@ -22,6 +22,8 @@
 //!
 //! Consequently a sweep's results are byte-identical at any thread count.
 
+// tnpu-lint: allow(wallclock) — wall time is measured only around the whole
+// job for the stderr timing report; nothing simulated can observe it.
 use std::time::{Duration, Instant};
 use tnpu_memprot::{ProtectionConfig, SchemeKind};
 use tnpu_models::registry;
@@ -91,6 +93,8 @@ impl RunSpec {
     pub fn execute(&self) -> RunResult {
         let model = registry::model(&self.model)
             .unwrap_or_else(|| panic!("model {:?} is not registered", self.model));
+        // tnpu-lint: allow(wallclock) — brackets the job for RunResult::wall
+        // (stderr-only); the simulation inside sees cycle time exclusively.
         let start = Instant::now();
         let reports = simulate_multi_seeded(
             &model,

@@ -225,6 +225,8 @@ impl VersionTable {
     /// Current table storage in bytes.
     #[must_use]
     pub fn storage_bytes(&self) -> u64 {
+        // tnpu-lint: allow(float-accumulation) — u64 sum over a BTreeMap:
+        // integral and iterated in key order, so the order cannot matter.
         self.entries.values().map(VersionEntry::bytes).sum()
     }
 

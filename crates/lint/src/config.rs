@@ -1,0 +1,217 @@
+//! Linter configuration: compiled-in defaults plus a `lint.toml` overlay.
+//!
+//! The defaults encode the workspace policy (which rules apply to which
+//! crates); `lint.toml` at the repository root can narrow or widen any
+//! rule's scope, disable a rule, or change the walked roots, without
+//! rebuilding the tool. Only the TOML subset the config needs is parsed —
+//! sections, `key = "string"`, `key = true|false`, and single-line string
+//! arrays — because the build container has no registry access and the
+//! linter must stay dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Per-rule scope override from `lint.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct RuleOverride {
+    /// `false` disables the rule entirely.
+    pub enabled: Option<bool>,
+    /// Replacement include path prefixes (workspace-relative).
+    pub include: Option<Vec<String>>,
+    /// Replacement exclude path prefixes (workspace-relative).
+    pub exclude: Option<Vec<String>>,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories walked for `.rs` files, relative to the workspace root.
+    pub roots: Vec<String>,
+    /// Path prefixes skipped entirely (fixtures, vendored stubs, ...).
+    pub skip: Vec<String>,
+    /// Per-rule overrides, keyed by rule id.
+    pub rules: BTreeMap<String, RuleOverride>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: ["crates", "src", "tests", "examples"]
+                .map(str::to_owned)
+                .to_vec(),
+            skip: ["crates/lint/tests/fixtures", "target", "vendor"]
+                .map(str::to_owned)
+                .to_vec(),
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+/// A `lint.toml` parse failure, with its 1-indexed line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Offending line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse a `lint.toml` document over the defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on a line the subset parser cannot understand.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        // Current `[section]`: None = top level, Some(rule) = [rules.rule].
+        let mut section: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err(lineno, "unterminated section header"));
+                };
+                let name = name.trim();
+                if let Some(rule) = name.strip_prefix("rules.") {
+                    section = Some(rule.trim().to_owned());
+                } else {
+                    return Err(err(
+                        lineno,
+                        "unknown section (only [rules.<id>] is supported)",
+                    ));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, "expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match &section {
+                None => match key {
+                    "roots" => config.roots = parse_array(value, lineno)?,
+                    "skip" => config.skip = parse_array(value, lineno)?,
+                    _ => return Err(err(lineno, &format!("unknown top-level key `{key}`"))),
+                },
+                Some(rule) => {
+                    let entry = config.rules.entry(rule.clone()).or_default();
+                    match key {
+                        "enabled" => entry.enabled = Some(parse_bool(value, lineno)?),
+                        "include" => entry.include = Some(parse_array(value, lineno)?),
+                        "exclude" => entry.exclude = Some(parse_array(value, lineno)?),
+                        _ => return Err(err(lineno, &format!("unknown rule key `{key}`"))),
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+fn err(line: usize, message: &str) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+/// Drop a trailing `# comment`, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(value: &str, line: usize) -> Result<bool, ConfigError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(err(line, &format!("expected true/false, got `{value}`"))),
+    }
+}
+
+/// Parse a single-line `["a", "b"]` string array.
+fn parse_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(line, "expected a single-line [\"...\"] array"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| err(line, "array elements must be double-quoted strings"))?;
+        out.push(s.to_owned());
+    }
+    Ok(out)
+}
+
+/// Whether `path` (workspace-relative, `/`-separated) is under `prefix`,
+/// matching whole components (`crates/sim` covers `crates/sim/src/x.rs`
+/// but not `crates/simulator/x.rs`).
+#[must_use]
+pub fn path_under(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_config() {
+        let c = Config::default();
+        assert!(c.roots.contains(&"crates".to_owned()));
+        assert!(c.skip.iter().any(|s| s.contains("fixtures")));
+    }
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let c = Config::parse(
+            "# comment\nroots = [\"crates\", \"src\"]\n\n[rules.hash-collections]\nenabled = true\ninclude = [\"crates/sim\"] # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(c.roots, vec!["crates", "src"]);
+        let r = &c.rules["hash-collections"];
+        assert_eq!(r.enabled, Some(true));
+        assert_eq!(r.include.as_deref(), Some(&["crates/sim".to_owned()][..]));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("bogus = 3\n").is_err());
+        assert!(Config::parse("[general]\n").is_err());
+    }
+
+    #[test]
+    fn path_prefix_matches_components() {
+        assert!(path_under("crates/sim/src/rng.rs", "crates/sim"));
+        assert!(!path_under("crates/simulator/src/x.rs", "crates/sim"));
+        assert!(path_under("crates/sim", "crates/sim"));
+    }
+}

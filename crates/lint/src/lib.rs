@@ -1,0 +1,270 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! `tnpu-lint` — a dependency-free workspace linter for determinism,
+//! unit-safety, and security-model invariants.
+//!
+//! The paper's core claim (tree-less integrity with software-managed
+//! versions) and PR 2's byte-identical-sweep guarantee both rest on
+//! invariants `rustc` cannot see: no hash-order iteration into results, no
+//! wall clock inside the simulation, no DRAM path around the protection
+//! engine, version state owned by one module. This crate machine-checks
+//! them. See `LINTS.md` at the repository root for the rule catalogue.
+//!
+//! Pipeline: [`lexer`] tokenises a file (stripping comments and literal
+//! contents, recording `// tnpu-lint: allow(...)` comments and
+//! `#[cfg(test)]` regions), [`rules`] pattern-match the token stream, and
+//! the engine here walks the tree, scopes each rule by path (defaults
+//! overridable via `lint.toml`, parsed by [`config`]), and filters findings
+//! through allow comments and test-region exemptions.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{path_under, Config};
+use rules::{Rule, RULES};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Explanation and suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Reject `lint.toml` overrides naming rules that do not exist (typos would
+/// otherwise silently disable nothing).
+///
+/// # Errors
+///
+/// The unknown rule id.
+pub fn validate_config(config: &Config) -> Result<(), String> {
+    for id in config.rules.keys() {
+        if rules::rule_by_id(id).is_none() {
+            return Err(format!(
+                "lint.toml: unknown rule `{id}` (see --list-rules for the catalogue)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `rule` applies to `path` under `config`'s scope overrides.
+fn rule_applies(rule: &Rule, config: &Config, path: &str) -> bool {
+    let over = config.rules.get(rule.id);
+    if let Some(o) = over {
+        if o.enabled == Some(false) {
+            return false;
+        }
+    }
+    let include: Vec<&str> = match over.and_then(|o| o.include.as_ref()) {
+        Some(v) => v.iter().map(String::as_str).collect(),
+        None => rule.include.to_vec(),
+    };
+    let exclude: Vec<&str> = match over.and_then(|o| o.exclude.as_ref()) {
+        Some(v) => v.iter().map(String::as_str).collect(),
+        None => rule.exclude.to_vec(),
+    };
+    if !include.is_empty() && !include.iter().any(|p| path_under(path, p)) {
+        return false;
+    }
+    if exclude.iter().any(|p| path_under(path, p)) {
+        return false;
+    }
+    if rule.exempt_tests && in_test_dir(path) {
+        return false;
+    }
+    true
+}
+
+/// Whether `path` lives in a directory conventionally holding test,
+/// benchmark, example, or fixture code.
+fn in_test_dir(path: &str) -> bool {
+    path.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+/// Lint one file's source as if it lived at workspace-relative `path`.
+///
+/// This is the core entry point; [`lint_root`] maps it over a tree, and the
+/// fixture tests call it directly with pretend paths.
+#[must_use]
+pub fn lint_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let mut out = Vec::new();
+    for rule in RULES {
+        if !rule_applies(rule, config, path) {
+            continue;
+        }
+        for finding in (rule.check)(&lexed, path) {
+            if rule.exempt_tests && lexed.in_test_region(finding.line) {
+                continue;
+            }
+            if lexed.is_allowed(rule.id, finding.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.to_owned(),
+                line: finding.line,
+                rule: rule.id,
+                message: finding.message,
+            });
+        }
+    }
+    out
+}
+
+/// Lint every `.rs` file under `root`'s configured roots, in deterministic
+/// (sorted-path) order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk; unreadable files are
+/// errors, not skips, so CI cannot silently under-lint.
+pub fn lint_root(root: &Path, config: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in &config.roots {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, root, config, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_file(&rel, &src, config));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collect workspace-relative `.rs` paths, honouring the
+/// config's skip list and ignoring hidden and build directories.
+fn collect_rs_files(
+    dir: &Path,
+    root: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .expect("walk stays under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if config.skip.iter().any(|s| path_under(&rel, s)) {
+            continue;
+        }
+        if path.is_dir() {
+            if name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, root, config, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_comment_waives_a_line() {
+        let cfg = Config::default();
+        let bad = "use std::collections::HashMap;\n";
+        assert_eq!(lint_file("crates/sim/src/x.rs", bad, &cfg).len(), 1);
+        let allowed =
+            "// tnpu-lint: allow(hash-collections) — keys never iterated\nuse std::collections::HashMap;\n";
+        assert!(lint_file("crates/sim/src/x.rs", allowed, &cfg).is_empty());
+    }
+
+    #[test]
+    fn scope_is_path_sensitive() {
+        let cfg = Config::default();
+        let src = "let t = Instant::now();";
+        assert_eq!(lint_file("crates/sim/src/x.rs", src, &cfg).len(), 1);
+        // bench is outside the wallclock scope: job timing is allowed there.
+        assert!(lint_file("crates/bench/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let cfg = Config::default();
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n";
+        assert!(lint_file("crates/sim/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn test_dirs_are_exempt_for_exempting_rules() {
+        let cfg = Config::default();
+        let src = "use std::collections::HashMap;";
+        assert!(lint_file("crates/sim/tests/x.rs", src, &cfg).is_empty());
+        assert!(lint_file("examples/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn config_can_disable_and_rescope() {
+        let cfg = Config::parse(
+            "[rules.hash-collections]\nenabled = false\n\n[rules.wallclock]\ninclude = [\"crates/bench\"]\n",
+        )
+        .expect("valid config");
+        assert!(lint_file(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap;",
+            &cfg
+        )
+        .is_empty());
+        assert_eq!(
+            lint_file("crates/bench/src/x.rs", "Instant::now()", &cfg).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_config_is_rejected() {
+        let cfg = Config::parse("[rules.no-such-rule]\nenabled = false\n").expect("parses");
+        assert!(validate_config(&cfg).is_err());
+        assert!(validate_config(&Config::default()).is_ok());
+    }
+
+    #[test]
+    fn diagnostics_render_grep_friendly() {
+        let d = Diagnostic {
+            path: "crates/sim/src/x.rs".to_owned(),
+            line: 3,
+            rule: "wallclock",
+            message: "m".to_owned(),
+        };
+        assert_eq!(d.to_string(), "crates/sim/src/x.rs:3: wallclock: m");
+    }
+}

@@ -1,0 +1,111 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! The `tnpu-lint` binary.
+//!
+//! ```text
+//! tnpu-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]
+//! ```
+//!
+//! Walks the workspace (default: the current directory), prints one
+//! `file:line: rule: message` diagnostic per violation to stdout, and a
+//! summary to stderr. Exit codes: `0` clean (or advisory mode), `1`
+//! violations under `--deny-all`, `2` usage/config/I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tnpu_lint::config::Config;
+use tnpu_lint::rules::RULES;
+use tnpu_lint::{lint_root, validate_config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config_path = Some(PathBuf::from(file)),
+                None => return usage_error("--config needs a file"),
+            },
+            "--deny-all" => deny_all = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "tnpu-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]\n\
+                     Workspace linter for determinism, unit-safety, and security invariants.\n\
+                     See LINTS.md for the rule catalogue."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{:<20} [{}] {}", rule.id, rule.family.label(), rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_file = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = if config_file.is_file() {
+        let src = match std::fs::read_to_string(&config_file) {
+            Ok(s) => s,
+            Err(e) => return tool_error(&format!("{}: {e}", config_file.display())),
+        };
+        match Config::parse(&src) {
+            Ok(c) => c,
+            Err(e) => return tool_error(&e.to_string()),
+        }
+    } else {
+        Config::default()
+    };
+    if let Err(e) = validate_config(&config) {
+        return tool_error(&e);
+    }
+
+    let diagnostics = match lint_root(&root, &config) {
+        Ok(d) => d,
+        Err(e) => return tool_error(&format!("walking {}: {e}", root.display())),
+    };
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("tnpu-lint: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            diagnostics.iter().map(|d| d.path.as_str()).collect();
+        eprintln!(
+            "tnpu-lint: {} violation(s) in {} file(s)",
+            diagnostics.len(),
+            files.len()
+        );
+        if deny_all {
+            ExitCode::FAILURE
+        } else {
+            eprintln!("tnpu-lint: advisory mode (pass --deny-all to fail the build)");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("tnpu-lint: {message} (try --help)");
+    ExitCode::from(2)
+}
+
+fn tool_error(message: &str) -> ExitCode {
+    eprintln!("tnpu-lint: {message}");
+    ExitCode::from(2)
+}

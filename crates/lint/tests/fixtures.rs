@@ -1,0 +1,93 @@
+//! Fixture-based self-tests: every rule must flag its known-bad snippet and
+//! pass its known-good counterpart (which exercises the
+//! `// tnpu-lint: allow(...)` escape hatch and `#[cfg(test)]` exemptions).
+
+use std::fs;
+use std::path::PathBuf;
+use tnpu_lint::config::Config;
+use tnpu_lint::lint_file;
+
+/// `(rule id, pretend workspace path the fixture is linted as)`.
+///
+/// The pretend path places each fixture inside the rule's default scope;
+/// `unchecked-arith` is file-scoped, so its fixture borrows a real
+/// accounting path.
+const FIXTURES: &[(&str, &str)] = &[
+    ("hash-collections", "crates/sim/src/fixture.rs"),
+    ("wallclock", "crates/core/src/fixture.rs"),
+    ("rng-seed-literal", "crates/npu/src/fixture.rs"),
+    ("narrowing-cast", "crates/npu/src/fixture.rs"),
+    ("unchecked-arith", "crates/sim/src/stats.rs"),
+    ("float-accumulation", "crates/bench/src/fixture.rs"),
+    ("dram-bypass", "crates/npu/src/fixture.rs"),
+    ("version-table-scope", "crates/bench/src/fixture.rs"),
+    ("forbid-unsafe", "crates/demo/src/lib.rs"),
+];
+
+fn fixture(rule: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/rules")
+        .join(rule)
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    let covered: std::collections::BTreeSet<&str> =
+        FIXTURES.iter().map(|(rule, _)| *rule).collect();
+    let all: std::collections::BTreeSet<&str> =
+        tnpu_lint::rules::RULES.iter().map(|r| r.id).collect();
+    assert_eq!(covered, all, "each rule needs a bad/good fixture pair");
+}
+
+#[test]
+fn bad_fixtures_are_flagged() {
+    let config = Config::default();
+    for (rule, path) in FIXTURES {
+        let src = fixture(rule, "bad.rs");
+        let hits: Vec<_> = lint_file(path, &src, &config)
+            .into_iter()
+            .filter(|d| d.rule == *rule)
+            .collect();
+        assert!(
+            !hits.is_empty(),
+            "{rule}: bad.rs (as {path}) must produce at least one {rule} diagnostic"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_pass() {
+    let config = Config::default();
+    for (rule, path) in FIXTURES {
+        let src = fixture(rule, "good.rs");
+        let hits: Vec<_> = lint_file(path, &src, &config)
+            .into_iter()
+            .filter(|d| d.rule == *rule)
+            .collect();
+        assert!(
+            hits.is_empty(),
+            "{rule}: good.rs (as {path}) must be clean, got: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_escape_when_out_of_scope() {
+    // The same bad snippets are fine where the rule does not apply: scope
+    // is part of each rule's contract, not an accident of the walker.
+    let config = Config::default();
+    let src = fixture("hash-collections", "bad.rs");
+    assert!(
+        lint_file("tools/src/fixture.rs", &src, &config).is_empty(),
+        "hash-collections is scoped to result-feeding crates"
+    );
+    let src = fixture("wallclock", "bad.rs");
+    assert!(
+        lint_file("crates/bench/src/fixture.rs", &src, &config)
+            .iter()
+            .all(|d| d.rule != "wallclock"),
+        "wallclock is scoped to simulation crates; bench times jobs legally"
+    );
+}

@@ -1,0 +1,8 @@
+use tnpu_memprot::functional::RawDram;
+use tnpu_sim::Addr;
+
+pub fn poke(dram: &mut RawDram) {
+    if let Some(block) = dram.block_mut(Addr(0)) {
+        block[0] ^= 1;
+    }
+}

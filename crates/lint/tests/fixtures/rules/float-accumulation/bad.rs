@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub fn mean_speedup(by_model: &HashMap<String, f64>) -> f64 {
+    let total: f64 = by_model.values().sum();
+    total / by_model.len() as f64
+}

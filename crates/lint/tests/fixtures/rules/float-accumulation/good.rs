@@ -1,0 +1,14 @@
+use std::collections::BTreeMap;
+
+pub fn mean_speedup(by_model: &BTreeMap<String, f64>) -> f64 {
+    let mut speedups: Vec<f64> = by_model.iter().map(|(_, v)| *v).collect();
+    speedups.sort_by(f64::total_cmp);
+    let total: f64 = speedups.iter().sum();
+    total / speedups.len() as f64
+}
+
+pub fn total_bytes(by_tensor: &BTreeMap<u32, u64>) -> u64 {
+    // tnpu-lint: allow(float-accumulation) — u64 sum over a BTreeMap: integral
+    // and iterated in key order, so reduction order cannot matter.
+    by_tensor.values().sum()
+}

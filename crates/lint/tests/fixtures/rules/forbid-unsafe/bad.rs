@@ -1,0 +1,5 @@
+//! A crate root without the safety attribute.
+
+pub fn f() -> u32 {
+    7
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! A crate root carrying the safety attribute.
+
+pub fn f() -> u32 {
+    7
+}

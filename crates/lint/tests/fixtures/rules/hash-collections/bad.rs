@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> HashMap<u32, u64> {
+    let mut counts = HashMap::new();
+    for e in events {
+        *counts.entry(*e).or_insert(0u64) += 1;
+    }
+    counts
+}

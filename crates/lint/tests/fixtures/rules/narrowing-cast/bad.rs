@@ -1,0 +1,7 @@
+pub fn tile_id(index: u64) -> u32 {
+    index as u32
+}
+
+pub fn set_index(line: u64, sets: u64) -> usize {
+    (line % sets) as usize
+}

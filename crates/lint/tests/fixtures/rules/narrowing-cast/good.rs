@@ -1,0 +1,11 @@
+pub fn tile_id(index: u64) -> u32 {
+    u32::try_from(index).expect("tile index fits the 32-bit tile-id space")
+}
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn widen_cast_is_fine(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,5 @@
+use tnpu_sim::rng::SplitMix64;
+
+pub fn gather_stream() -> SplitMix64 {
+    SplitMix64::new(0xDEAD_BEEF)
+}

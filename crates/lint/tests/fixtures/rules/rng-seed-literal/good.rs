@@ -1,0 +1,9 @@
+use tnpu_sim::rng::SplitMix64;
+
+pub fn gather_stream(cell_seed: u64, npu: u64) -> SplitMix64 {
+    SplitMix64::new(cell_seed ^ npu.wrapping_mul(0x9E37_79B9))
+}
+
+pub fn cell_seed(experiment: &str, model: &str, config: &str) -> u64 {
+    SplitMix64::seed_from_labels(&[experiment, model, config])
+}

@@ -1,0 +1,19 @@
+pub struct Traffic {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    pub fn merge(&mut self, other: &Traffic) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+    }
+
+    pub fn scaled(&self, factor: u64) -> u64 {
+        self.total() * factor
+    }
+}

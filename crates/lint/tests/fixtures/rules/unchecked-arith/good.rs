@@ -1,0 +1,24 @@
+pub struct Traffic {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    pub fn total(&self) -> u64 {
+        self.read_bytes.saturating_add(self.write_bytes)
+    }
+
+    pub fn merge(&mut self, other: &Traffic) {
+        self.read_bytes = self.read_bytes.saturating_add(other.read_bytes);
+        self.write_bytes = self.write_bytes.saturating_add(other.write_bytes);
+    }
+
+    pub fn scaled(&self, factor: u64) -> u64 {
+        self.total().saturating_mul(factor)
+    }
+
+    pub fn slack(&self, budget: u64) -> u64 {
+        // Subtraction is outside this rule; saturating_sub is still nicer.
+        budget.saturating_sub(self.total())
+    }
+}

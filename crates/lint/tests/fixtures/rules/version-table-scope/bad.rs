@@ -1,0 +1,7 @@
+use tnpu_core::VersionTable;
+
+pub fn shadow_versions() -> VersionTable {
+    let mut table = VersionTable::new();
+    table.register(0);
+    table
+}

@@ -1,0 +1,10 @@
+// tnpu-lint: allow(version-table-scope) — read-only storage measurement on
+// a scratch table; no engine ever verifies against it.
+pub fn storage(table: &tnpu_core::VersionTable) -> u64 {
+    table.storage_bytes()
+}
+
+pub fn run(runner: &mut tnpu_core::SecureRunner) {
+    // The version manager in crates/core owns all mutation.
+    runner.step();
+}

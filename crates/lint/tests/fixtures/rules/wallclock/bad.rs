@@ -1,0 +1,9 @@
+use std::time::Instant;
+
+pub fn simulate_layer(work: u64) -> u64 {
+    let start = Instant::now();
+    let cycles = work * 3;
+    let _elapsed = start.elapsed();
+    let budget: u64 = std::env::var("SIM_BUDGET").unwrap().parse().unwrap();
+    cycles.min(budget)
+}

@@ -1,0 +1,13 @@
+use std::time::Duration;
+
+pub fn simulate_layer(work: u64) -> u64 {
+    work * 3
+}
+
+pub fn time_job(job: impl FnOnce() -> u64) -> (u64, Duration) {
+    // tnpu-lint: allow(wallclock) — wall time brackets the whole job for a
+    // stderr report; the simulation inside observes cycle time only.
+    let start = std::time::Instant::now();
+    let out = job();
+    (out, start.elapsed())
+}

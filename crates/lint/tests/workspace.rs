@@ -1,0 +1,125 @@
+//! The linter's acceptance gates: the real workspace lints clean, and the
+//! binary's exit codes match its contract (`0` clean / advisory, `1` under
+//! `--deny-all` with violations).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tnpu_lint::config::Config;
+use tnpu_lint::{lint_root, validate_config};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// Mirror the binary's config loading: `lint.toml` at the root if present,
+/// compiled-in defaults otherwise.
+fn workspace_config(root: &Path) -> Config {
+    let path = root.join("lint.toml");
+    if path.is_file() {
+        let src = std::fs::read_to_string(&path).expect("readable lint.toml");
+        Config::parse(&src).expect("valid lint.toml")
+    } else {
+        Config::default()
+    }
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = workspace_root();
+    let config = workspace_config(&root);
+    validate_config(&config).expect("config names only known rules");
+    let diagnostics = lint_root(&root, &config).expect("walk succeeds");
+    assert!(
+        diagnostics.is_empty(),
+        "the workspace must lint clean; violations:\n{}",
+        diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn deny_all_exits_zero_on_the_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", workspace_root().to_str().expect("utf-8 path")])
+        .arg("--deny-all")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "expected clean workspace, stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn deny_all_exits_nonzero_on_the_bad_workspace() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .arg("--deny-all")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "--deny-all must fail the build");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for expected in ["hash-collections", "wallclock", "forbid-unsafe"] {
+        assert!(
+            stdout.contains(expected),
+            "diagnostics must include {expected}, got:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("crates/sim/src/lib.rs:"),
+        "diagnostics are file:line-prefixed, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn advisory_mode_reports_but_exits_zero() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "advisory mode never fails the build");
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).is_empty(),
+        "violations are still reported"
+    );
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in tnpu_lint::rules::RULES {
+        assert!(
+            stdout.contains(rule.id),
+            "--list-rules must mention {}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn unknown_rule_in_config_is_a_tool_error() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let config = bad_root.join("bad-config.toml");
+    std::fs::write(&config, "[rules.not-a-rule]\nenabled = false\n").expect("writable");
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .args(["--config", config.to_str().expect("utf-8 path")])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&config).ok();
+    assert_eq!(out.status.code(), Some(2), "config errors exit 2");
+}

@@ -1,6 +1,6 @@
 //! Sparse simulated DRAM holding ciphertext blocks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tnpu_sim::{Addr, BLOCK_SIZE};
 
 /// A sparse byte store at 64 B block granularity.
@@ -21,7 +21,7 @@ use tnpu_sim::{Addr, BLOCK_SIZE};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RawDram {
-    blocks: HashMap<u64, [u8; BLOCK_SIZE]>,
+    blocks: BTreeMap<u64, [u8; BLOCK_SIZE]>,
 }
 
 impl RawDram {

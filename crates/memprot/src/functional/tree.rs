@@ -6,7 +6,7 @@ use super::dram::RawDram;
 use super::IntegrityError;
 use crate::counters::{Bump, SplitCounterBlock};
 use crate::tree::TreeGeometry;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tnpu_crypto::ctr::CtrMode;
 use tnpu_crypto::mac::{BlockMac, MacTag};
 use tnpu_crypto::sha256::Sha256;
@@ -24,11 +24,11 @@ use tnpu_sim::{Addr, BLOCK_SIZE};
 #[derive(Debug)]
 pub struct CounterTreeMemory {
     dram: RawDram,
-    macs: HashMap<u64, MacTag>,
+    macs: BTreeMap<u64, MacTag>,
     /// DRAM-resident SC-64 split-counter blocks, one per 64 data blocks.
-    counters: HashMap<u64, SplitCounterBlock>,
+    counters: BTreeMap<u64, SplitCounterBlock>,
     /// Tree-node contents: `(level, node) -> [child hash; arity]`.
-    nodes: HashMap<(u32, u64), Vec<[u8; 32]>>,
+    nodes: BTreeMap<(u32, u64), Vec<[u8; 32]>>,
     /// The on-chip root hash — the only trusted state.
     root: [u8; 32],
     geometry: TreeGeometry,
@@ -55,9 +55,9 @@ impl CounterTreeMemory {
         ctr_label.extend_from_slice(&master.0);
         CounterTreeMemory {
             dram: RawDram::new(),
-            macs: HashMap::new(),
-            counters: HashMap::new(),
-            nodes: HashMap::new(),
+            macs: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            nodes: BTreeMap::new(),
             root: [0; 32],
             geometry,
             counters_per_block,

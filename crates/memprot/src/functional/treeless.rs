@@ -3,7 +3,7 @@
 
 use super::dram::RawDram;
 use super::IntegrityError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tnpu_crypto::mac::{BlockMac, MacTag};
 use tnpu_crypto::xts::XtsMode;
 use tnpu_crypto::Key128;
@@ -29,7 +29,7 @@ use tnpu_sim::{Addr, BLOCK_SIZE};
 #[derive(Debug)]
 pub struct TreelessMemory {
     dram: RawDram,
-    macs: HashMap<u64, MacTag>,
+    macs: BTreeMap<u64, MacTag>,
     xts: XtsMode,
     mac: BlockMac,
 }
@@ -42,7 +42,7 @@ impl TreelessMemory {
         mac_label.extend_from_slice(&master.0);
         TreelessMemory {
             dram: RawDram::new(),
-            macs: HashMap::new(),
+            macs: BTreeMap::new(),
             xts: XtsMode::from_master(master),
             mac: BlockMac::new(Key128::derive(&mac_label)),
         }

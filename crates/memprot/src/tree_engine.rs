@@ -28,7 +28,7 @@ use crate::engine::{AccessCost, EngineStats, ProtectionEngine};
 use crate::layout::{Layout, COUNTER_BASE, TREE_BASE, TREE_LEVEL_STRIDE};
 use crate::tree::TreeGeometry;
 use crate::SchemeKind;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tnpu_sim::cache::{AccessKind, Cache};
 use tnpu_sim::stats::{EventCounters, TrafficStats};
 use tnpu_sim::{Addr, BlockAddr, Cycles, BLOCK_SIZE};
@@ -43,7 +43,7 @@ pub struct TreeBasedEngine {
     hash_cache: Cache,
     mac_cache: Cache,
     /// Per-data-block write counts for minor-counter overflow modelling.
-    write_counts: HashMap<u64, u32>,
+    write_counts: BTreeMap<u64, u32>,
     traffic: TrafficStats,
     events: EventCounters,
 }
@@ -65,7 +65,7 @@ impl TreeBasedEngine {
             layout,
             geometry,
             config,
-            write_counts: HashMap::new(),
+            write_counts: BTreeMap::new(),
             traffic: TrafficStats::default(),
             events: EventCounters::default(),
         }

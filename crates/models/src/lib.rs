@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! The 14 benchmark DNN models of the paper's evaluation (Table III),
 //! described layer-by-layer.
 //!

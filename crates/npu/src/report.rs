@@ -39,13 +39,13 @@ impl RunReport {
     /// Total DRAM traffic caused by this NPU (payload + metadata).
     #[must_use]
     pub fn total_traffic(&self) -> u64 {
-        self.data_read + self.data_write + self.meta_bytes
+        self.data_traffic().saturating_add(self.meta_bytes)
     }
 
     /// Payload-only traffic.
     #[must_use]
     pub fn data_traffic(&self) -> u64 {
-        self.data_read + self.data_write
+        self.data_read.saturating_add(self.data_write)
     }
 
     /// Execution time of this run divided by `baseline`'s — the

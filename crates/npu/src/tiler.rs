@@ -93,6 +93,12 @@ pub struct TileDims {
     pub b_resident: bool,
 }
 
+/// Fold a tile index computed in `u64` grid arithmetic into the `u32`
+/// `Transfer::tile_id` field, loudly instead of truncating.
+fn tile_id(index: u64) -> u32 {
+    u32::try_from(index).expect("tile index fits the 32-bit tile-id space")
+}
+
 fn candidates(d: u64) -> Vec<u64> {
     let mut v = vec![d];
     let mut p = d.next_power_of_two() / 2;
@@ -264,7 +270,8 @@ fn lower_gemm(
         for mi in 0..m_tiles {
             let m0 = mi * dims.mt;
             let mt = dims.mt.min(m - m0);
-            let mut loads = Vec::with_capacity(2 * k_tiles as usize);
+            let mut loads =
+                Vec::with_capacity(usize::try_from(2 * k_tiles).expect("tile count fits usize"));
             let mut compute = Cycles::ZERO;
             for ki in 0..k_tiles {
                 let k0 = ki * dims.kt;
@@ -281,7 +288,7 @@ fn lower_gemm(
                             },
                             dir: Dir::Read,
                             tensor_id: a_src.id,
-                            tile_id: mi as u32,
+                            tile_id: tile_id(mi),
                             version: 1,
                         });
                     }
@@ -295,7 +302,7 @@ fn lower_gemm(
                         },
                         dir: Dir::Read,
                         tensor_id: a_src.id,
-                        tile_id: (mi * k_tiles + ki) as u32,
+                        tile_id: tile_id(mi * k_tiles + ki),
                         version: 1,
                     });
                 }
@@ -321,7 +328,7 @@ fn lower_gemm(
                         pattern,
                         dir: Dir::Read,
                         tensor_id: b_src.id,
-                        tile_id: (ki * n_tiles + ni) as u32,
+                        tile_id: tile_id(ki * n_tiles + ni),
                         version: 1,
                     });
                 }
@@ -336,7 +343,7 @@ fn lower_gemm(
                 },
                 dir: Dir::Write,
                 tensor_id: c_dst.id,
-                tile_id: (mi * n_tiles + ni) as u32,
+                tile_id: tile_id(mi * n_tiles + ni),
                 version: 1,
             }];
             jobs.push(TileJob {

@@ -230,7 +230,8 @@ impl Cache {
     fn index(&self, addr: Addr) -> (usize, u64) {
         let line = addr.0 / self.config.line_size as u64;
         let sets = self.sets.len() as u64;
-        ((line % sets) as usize, line / sets)
+        let set = usize::try_from(line % sets).expect("set index is below the set count");
+        (set, line / sets)
     }
 
     /// Access the line containing `addr`.

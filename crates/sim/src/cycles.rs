@@ -60,16 +60,19 @@ impl Cycles {
     }
 }
 
+// Cycle accounting saturates rather than wraps: a saturated count is still
+// "astronomically slow" in every report, while a wrapped one silently reads
+// as fast (and `u64` overflow is unchecked in release builds).
 impl Add for Cycles {
     type Output = Cycles;
     fn add(self, rhs: Cycles) -> Cycles {
-        Cycles(self.0 + rhs.0)
+        Cycles(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Cycles {
     fn add_assign(&mut self, rhs: Cycles) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -89,13 +92,13 @@ impl SubAssign for Cycles {
 impl Mul<u64> for Cycles {
     type Output = Cycles;
     fn mul(self, rhs: u64) -> Cycles {
-        Cycles(self.0 * rhs)
+        Cycles(self.0.saturating_mul(rhs))
     }
 }
 
 impl Sum for Cycles {
     fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
-        Cycles(iter.map(|c| c.0).sum())
+        Cycles(iter.map(|c| c.0).fold(0, u64::saturating_add))
     }
 }
 

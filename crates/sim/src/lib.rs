@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! Simulation substrate for the TNPU reproduction.
 //!
 //! This crate provides the low-level building blocks that every other crate
@@ -60,7 +62,7 @@ impl Addr {
     /// Offset of this address within its block.
     #[must_use]
     pub fn block_offset(self) -> usize {
-        (self.0 % BLOCK_SIZE as u64) as usize
+        usize::try_from(self.0 % BLOCK_SIZE as u64).expect("offset is below BLOCK_SIZE")
     }
 
     /// The address `bytes` past this one.

@@ -29,29 +29,34 @@ impl TrafficStats {
     /// All payload traffic.
     #[must_use]
     pub fn data(&self) -> u64 {
-        self.data_read + self.data_write
+        self.data_read.saturating_add(self.data_write)
     }
 
     /// All security-metadata traffic.
     #[must_use]
     pub fn metadata(&self) -> u64 {
-        self.counter + self.tree + self.mac + self.version
+        self.counter
+            .saturating_add(self.tree)
+            .saturating_add(self.mac)
+            .saturating_add(self.version)
     }
 
     /// Total DRAM traffic.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.data() + self.metadata()
+        self.data().saturating_add(self.metadata())
     }
 
-    /// Accumulate another record into this one.
+    /// Accumulate another record into this one. Byte counters saturate
+    /// rather than wrap: a pinned counter is obviously wrong in a report,
+    /// a wrapped one silently reads as low traffic.
     pub fn merge(&mut self, other: &TrafficStats) {
-        self.data_read += other.data_read;
-        self.data_write += other.data_write;
-        self.counter += other.counter;
-        self.tree += other.tree;
-        self.mac += other.mac;
-        self.version += other.version;
+        self.data_read = self.data_read.saturating_add(other.data_read);
+        self.data_write = self.data_write.saturating_add(other.data_write);
+        self.counter = self.counter.saturating_add(other.counter);
+        self.tree = self.tree.saturating_add(other.tree);
+        self.mac = self.mac.saturating_add(other.mac);
+        self.version = self.version.saturating_add(other.version);
     }
 }
 
@@ -89,9 +94,10 @@ pub struct EventCounters {
 }
 
 impl EventCounters {
-    /// Increment `name` by `n`.
+    /// Increment `name` by `n` (saturating).
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+        let slot = self.counters.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(n);
     }
 
     /// Current value of `name` (zero if never incremented).
@@ -105,10 +111,11 @@ impl EventCounters {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Accumulate another record into this one.
+    /// Accumulate another record into this one (saturating).
     pub fn merge(&mut self, other: &EventCounters) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
         }
     }
 }

@@ -6,7 +6,7 @@
 //! context, and only the context's owner may issue commands on it.
 
 use crate::EnclaveId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A command the CPU-side software issues to the NPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +61,7 @@ pub struct NpuDriverEnclave {
     /// The driver's own enclave identity (attested separately, §IV-E).
     pub id: EnclaveId,
     npu_count: usize,
-    contexts: HashMap<usize, EnclaveId>,
+    contexts: BTreeMap<usize, EnclaveId>,
     commands_issued: u64,
 }
 
@@ -77,7 +77,7 @@ impl NpuDriverEnclave {
         NpuDriverEnclave {
             id,
             npu_count,
-            contexts: HashMap::new(),
+            contexts: BTreeMap::new(),
             commands_issued: 0,
         }
     }

@@ -9,7 +9,7 @@
 //! on every TLB miss (CPU MMU and NPU IOMMU alike).
 
 use crate::{Access, AccessError, EnclaveId, Perms, Ppn, Vpn};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// State of one physical page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,7 @@ pub enum PageState {
 /// The inverse page map, indexed by physical page number.
 #[derive(Debug, Clone, Default)]
 pub struct Eepcm {
-    pages: HashMap<u64, PageState>,
+    pages: BTreeMap<u64, PageState>,
 }
 
 impl Eepcm {

@@ -9,7 +9,7 @@
 use crate::epcm::Eepcm;
 use crate::pagetable::PageTable;
 use crate::{Access, AccessError, EnclaveId, Perms, Ppn, Vpn};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics of one MMU.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,7 +35,7 @@ struct TlbEntry {
 pub struct Mmu {
     owner: EnclaveId,
     capacity: usize,
-    tlb: HashMap<u64, TlbEntry>,
+    tlb: BTreeMap<u64, TlbEntry>,
     tick: u64,
     stats: MmuStats,
 }
@@ -52,7 +52,7 @@ impl Mmu {
         Mmu {
             owner,
             capacity,
-            tlb: HashMap::new(),
+            tlb: BTreeMap::new(),
             tick: 0,
             stats: MmuStats::default(),
         }

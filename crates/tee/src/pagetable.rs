@@ -6,12 +6,12 @@
 //! the EEPCM validation that happens on TLB fill, never from this table.
 
 use crate::{Ppn, Vpn};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One address space's virtual → physical map.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<u64, Ppn>,
+    entries: BTreeMap<u64, Ppn>,
 }
 
 impl PageTable {

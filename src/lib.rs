@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 //! # TNPU — Trusted Execution with Tree-less Integrity Protection for NPUs
 //!
 //! A comprehensive Rust reproduction of the HPCA 2022 paper *"TNPU:
@@ -51,6 +53,8 @@ pub use tnpu_tee as tee;
 /// assert!(report.total_time.0 > 0);
 /// ```
 pub mod prelude {
+    // tnpu-lint: allow(version-table-scope) — facade re-export only; the
+    // table itself still lives in (and is managed by) crates/core.
     pub use crate::core::{Scheme, SystemReport, TnpuSystem, VersionTable};
     pub use crate::crypto::Key128;
     pub use crate::models::registry;
