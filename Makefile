@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint check
+.PHONY: build test fmt clippy lint attacks check
 
 build:
 	cargo build --release --workspace --locked
@@ -19,4 +19,9 @@ clippy:
 lint:
 	cargo run -p tnpu-lint --release --locked -- --deny-all
 
-check: build test fmt clippy lint
+# Adversarial attack-injection matrix over the functional schemes;
+# --deny-undetected fails if any cell contradicts the paper's claims.
+attacks:
+	cargo run -p tnpu-bench --release --locked --bin attacks -- --deny-undetected
+
+check: build test fmt clippy lint attacks

@@ -1,0 +1,72 @@
+//! CLI driver for the adversarial attack-injection matrix.
+//!
+//! ```text
+//! attacks [--deny-undetected] [--threads N] [model ...]
+//! ```
+//!
+//! Runs every attack of the taxonomy against every protection scheme on
+//! full functional inferences of the given models (default: df ncf) and
+//! prints the scheme × attack detection matrix. With `--deny-undetected`
+//! the process exits non-zero if any cell contradicts the paper's claims
+//! — the CI gate. stdout is byte-identical at any thread count; timing
+//! goes to stderr.
+
+use tnpu_bench::{attacks, sweep};
+use tnpu_models::registry;
+
+fn parse_thread_count(value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads wants a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut models: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--deny-undetected" {
+            deny = true;
+        } else if arg == "--threads" {
+            let Some(value) = iter.next() else {
+                eprintln!("--threads wants a value");
+                std::process::exit(2);
+            };
+            sweep::set_threads(parse_thread_count(value));
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            sweep::set_threads(parse_thread_count(value));
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag: {arg}");
+            std::process::exit(2);
+        } else if registry::model(arg).is_some() {
+            models.push(arg.as_str());
+        } else {
+            eprintln!("unknown model: {arg}");
+            std::process::exit(2);
+        }
+    }
+    if models.is_empty() {
+        models = attacks::DEFAULT_MODELS.to_vec();
+    }
+
+    let cells = attacks::matrix(&models);
+    println!("==== attacks ====");
+    println!("{}", attacks::render(&cells));
+
+    // Timing telemetry is nondeterministic, so it goes to stderr only —
+    // stdout must stay byte-identical at any thread count.
+    if let Some(summary) = sweep::session_summary() {
+        eprint!("{summary}");
+    }
+
+    let bad = cells.iter().filter(|(_, c)| !c.matches()).count();
+    if deny && bad > 0 {
+        eprintln!("--deny-undetected: {bad} cell(s) contradict the paper's claims");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! ```
 
 pub mod ablations;
+pub mod attacks;
 pub mod experiments;
 pub mod sweep;
 pub mod tables;

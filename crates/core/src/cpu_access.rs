@@ -10,7 +10,7 @@
 //! * `ts_write_byte` — stage a byte into the write buffer,
 //! * `ts_write_block` — MAC + flush the write buffer to memory.
 
-use tnpu_memprot::functional::{IntegrityError, TreelessMemory};
+use tnpu_memprot::functional::{FunctionalMemory, IntegrityError};
 use tnpu_sim::{Addr, BLOCK_SIZE};
 
 /// The per-core block buffers and their state.
@@ -82,7 +82,7 @@ impl CpuTensorAccess {
     /// invalidated in that case.
     pub fn ts_read_block(
         &mut self,
-        mem: &TreelessMemory,
+        mem: &dyn FunctionalMemory,
         addr: Addr,
         version: u64,
     ) -> Result<(), TsError> {
@@ -131,7 +131,7 @@ impl CpuTensorAccess {
 
     /// `ts_write_block`: MAC the write buffer under `version` and flush it
     /// to `addr`. The buffer is cleared afterwards.
-    pub fn ts_write_block(&mut self, mem: &mut TreelessMemory, addr: Addr, version: u64) {
+    pub fn ts_write_block(&mut self, mem: &mut dyn FunctionalMemory, addr: Addr, version: u64) {
         mem.write_block(addr, version, self.write_buf);
         self.write_buf = [0; BLOCK_SIZE];
     }
@@ -145,7 +145,7 @@ impl CpuTensorAccess {
     /// Panics if `base` is not block-aligned.
     pub fn write_tensor(
         &mut self,
-        mem: &mut TreelessMemory,
+        mem: &mut dyn FunctionalMemory,
         base: Addr,
         version: u64,
         data: &[u8],
@@ -170,7 +170,7 @@ impl CpuTensorAccess {
     /// Panics if `base` is not block-aligned.
     pub fn read_tensor(
         &mut self,
-        mem: &TreelessMemory,
+        mem: &dyn FunctionalMemory,
         base: Addr,
         version: u64,
         len: usize,
@@ -196,6 +196,7 @@ impl CpuTensorAccess {
 mod tests {
     use super::*;
     use tnpu_crypto::Key128;
+    use tnpu_memprot::functional::TreelessMemory;
 
     fn mem() -> TreelessMemory {
         TreelessMemory::new(Key128::derive(b"cpu-access"))

@@ -18,6 +18,9 @@
 //!   checker for its consistency.
 //! * [`secure_runner`] — functional secure inference: real bytes through
 //!   real crypto with version management end-to-end.
+//! * [`attacks`] — the adversarial attack-injection harness: seeded
+//!   attacks against full functional inferences, classified into the
+//!   scheme × attack detection matrix of §III/§IV-C.
 //! * [`endtoend`] — the end-to-end latency model of Fig. 17.
 //! * [`hwcost`] — the hardware-overhead accounting of §V-E.
 //! * [`context`] — the secure-context lifecycle of §IV-E: enclave
@@ -26,6 +29,7 @@
 //!   (encrypted, authenticated, replay-protected frames).
 //! * [`system`] — the [`TnpuSystem`] facade tying everything together.
 
+pub mod attacks;
 pub mod context;
 pub mod cpu_access;
 pub mod endtoend;

@@ -17,7 +17,7 @@ use crate::cpu_access::CpuTensorAccess;
 use crate::version::{VersionError, VersionTable};
 use tnpu_crypto::sha256::Sha256;
 use tnpu_crypto::Key128;
-use tnpu_memprot::functional::{IntegrityError, TreelessMemory};
+use tnpu_memprot::functional::{FunctionalMemory, IntegrityError, TreelessMemory};
 use tnpu_models::{LayerKind, Model, ELEM_BYTES};
 use tnpu_npu::alloc::ModelLayout;
 use tnpu_sim::rng::SplitMix64;
@@ -75,26 +75,38 @@ pub struct LayerTrace {
 }
 
 /// The functional secure runner for one NPU context.
+///
+/// Generic over the [`FunctionalMemory`] the context computes on: the
+/// default is the paper's tree-less scheme, and the adversary harness
+/// instantiates it over every scheme to compare what each one detects.
 #[derive(Debug)]
-pub struct SecureRunner {
+pub struct SecureRunner<M: FunctionalMemory = TreelessMemory> {
     model: Model,
     layout: ModelLayout,
     table: VersionTable,
-    mem: TreelessMemory,
+    mem: M,
     cpu: CpuTensorAccess,
     next_layer: usize,
     seed: u64,
 }
 
-impl SecureRunner {
-    /// Set up the context: allocate tensors, register them in the version
-    /// table, and initialize the input and every weight tensor through the
-    /// CPU `ts_write` path with deterministic synthetic contents.
+impl SecureRunner<TreelessMemory> {
+    /// Set up a tree-less context with keys derived from `master_key`.
     #[must_use]
     pub fn new(model: &Model, master_key: Key128, seed: u64) -> Self {
+        Self::with_memory(model, TreelessMemory::new(master_key), seed)
+    }
+}
+
+impl<M: FunctionalMemory> SecureRunner<M> {
+    /// Set up the context over an existing memory: allocate tensors,
+    /// register them in the version table, and initialize the input and
+    /// every weight tensor through the CPU `ts_write` path with
+    /// deterministic synthetic contents.
+    #[must_use]
+    pub fn with_memory(model: &Model, mut mem: M, seed: u64) -> Self {
         let layout = ModelLayout::allocate(model, Addr(0));
         let mut table = VersionTable::new();
-        let mut mem = TreelessMemory::new(master_key);
         let mut cpu = CpuTensorAccess::new();
 
         table.register(layout.input.id);
@@ -125,6 +137,26 @@ impl SecureRunner {
         }
     }
 
+    /// Start the next inference in the same context: rewrite the input
+    /// tensor with fresh synthetic contents under a bumped version and
+    /// rewind the layer cursor. Weights stay as initialized; output
+    /// tensors keep their version history and are bumped again as the new
+    /// pass produces them — the steady-state reuse pattern whose replay
+    /// window the version numbers close.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Version`] if the input version counter is exhausted.
+    pub fn next_inference(&mut self, input_seed: u64) -> Result<(), RunError> {
+        self.seed = input_seed;
+        self.next_layer = 0;
+        let version = self.table.bump(self.layout.input.id)?;
+        let bytes = synth_bytes(input_seed, self.layout.input.id, self.layout.input.bytes);
+        self.cpu
+            .write_tensor(&mut self.mem, self.layout.input.addr, version, &bytes);
+        Ok(())
+    }
+
     /// The version table (inspection).
     #[must_use]
     pub fn version_table(&self) -> &VersionTable {
@@ -137,8 +169,15 @@ impl SecureRunner {
         &self.layout
     }
 
+    /// The untrusted protected memory, read-only (the adversary's
+    /// observe hook).
+    #[must_use]
+    pub fn memory(&self) -> &M {
+        &self.mem
+    }
+
     /// The untrusted protected memory — the attack hook for tests.
-    pub fn memory_mut(&mut self) -> &mut TreelessMemory {
+    pub fn memory_mut(&mut self) -> &mut M {
         &mut self.mem
     }
 

@@ -56,6 +56,11 @@ pub enum VersionError {
     AlreadyExpanded(TensorId),
     /// Tile-granular operation on a non-expanded tensor.
     NotExpanded(TensorId),
+    /// The version counter reached `u64::MAX`. Wrapping back to an earlier
+    /// value would make old ciphertext MACs verify again — the replay
+    /// window the versions exist to close — so the bump is refused and the
+    /// tensor must be re-keyed or retired.
+    Exhausted(TensorId),
 }
 
 impl std::fmt::Display for VersionError {
@@ -70,6 +75,9 @@ impl std::fmt::Display for VersionError {
             }
             VersionError::AlreadyExpanded(t) => write!(f, "tensor {t} is already expanded"),
             VersionError::NotExpanded(t) => write!(f, "tensor {t} is not expanded"),
+            VersionError::Exhausted(t) => {
+                write!(f, "tensor {t} version counter is exhausted (would wrap)")
+            }
         }
     }
 }
@@ -135,13 +143,15 @@ impl VersionTable {
     /// # Errors
     ///
     /// [`VersionError::UnknownTensor`]; [`VersionError::AlreadyExpanded`]
-    /// if the tensor is mid-expansion (bump its tiles instead).
+    /// if the tensor is mid-expansion (bump its tiles instead);
+    /// [`VersionError::Exhausted`] at `u64::MAX` — wrapping would re-admit
+    /// ciphertext MAC'd under version 0.
     pub fn bump(&mut self, tensor: TensorId) -> Result<u64, VersionError> {
         match self.entries.get_mut(&tensor) {
             None => Err(VersionError::UnknownTensor(tensor)),
             Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
             Some(VersionEntry::Single(v)) => {
-                *v += 1;
+                *v = v.checked_add(1).ok_or(VersionError::Exhausted(tensor))?;
                 Ok(*v)
             }
         }
@@ -182,7 +192,8 @@ impl VersionTable {
     /// # Errors
     ///
     /// [`VersionError`] if the tensor is unknown, not expanded, or the
-    /// tile is out of range.
+    /// tile is out of range; [`VersionError::Exhausted`] if the tile's
+    /// version would wrap past `u64::MAX`.
     pub fn bump_tile(&mut self, tensor: TensorId, tile: u32) -> Result<u64, VersionError> {
         match self.entries.get_mut(&tensor) {
             None => Err(VersionError::UnknownTensor(tensor)),
@@ -191,7 +202,7 @@ impl VersionTable {
                 let slot = tiles
                     .get_mut(tile as usize)
                     .ok_or(VersionError::NoSuchTile { tensor, tile })?;
-                *slot += 1;
+                *slot = slot.checked_add(1).ok_or(VersionError::Exhausted(tensor))?;
                 Ok(*slot)
             }
         }
@@ -355,6 +366,39 @@ mod tests {
     }
 
     #[test]
+    fn bump_at_max_is_exhausted_not_wrapped() {
+        // Regression test: `bump` used unchecked `+= 1`, so a tensor at
+        // u64::MAX wrapped to 0 in release builds and every block MAC'd
+        // under any earlier version verified again — an unbounded replay
+        // window. The table must refuse instead.
+        let mut t = VersionTable::new();
+        t.register(0);
+        t.entries.insert(0, VersionEntry::Single(u64::MAX));
+        assert_eq!(t.bump(0), Err(VersionError::Exhausted(0)));
+        // The entry is untouched: still at MAX, still readable.
+        assert_eq!(t.version(0, 0), Ok(u64::MAX));
+        assert_eq!(t.bump(0), Err(VersionError::Exhausted(0)), "stays refused");
+    }
+
+    #[test]
+    fn bump_tile_at_max_is_exhausted_not_wrapped() {
+        let mut t = VersionTable::new();
+        t.register(3);
+        t.entries
+            .insert(3, VersionEntry::Expanded(vec![u64::MAX, 7]));
+        assert_eq!(t.bump_tile(3, 0), Err(VersionError::Exhausted(3)));
+        assert_eq!(t.version(3, 0), Ok(u64::MAX), "tile untouched");
+        // Other tiles keep working.
+        assert_eq!(t.bump_tile(3, 1), Ok(8));
+    }
+
+    #[test]
+    fn exhausted_error_displays() {
+        let e = VersionError::Exhausted(9);
+        assert!(e.to_string().contains("exhausted"));
+    }
+
+    #[test]
     fn storage_accounting() {
         let mut t = VersionTable::new();
         for i in 0..10 {
@@ -445,6 +489,27 @@ mod proptests {
             // whole-tensor bump.
             prop_assert_eq!(table.storage_bytes(), ENTRY_BYTES);
             prop_assert_eq!(table.bump(0).expect("single again"), start + rounds + 1);
+        }
+
+        /// Starting anywhere in the last few values below `u64::MAX`,
+        /// repeated bumps walk monotonically to `MAX` and then report
+        /// `Exhausted` forever — the version never wraps back into the
+        /// range old MACs were bound to.
+        #[test]
+        fn bumps_near_max_saturate_into_exhausted(headroom in 0u64..8) {
+            let start = u64::MAX - headroom;
+            let mut table = VersionTable::new();
+            table.register(0);
+            table.entries.insert(0, VersionEntry::Single(start));
+            let mut v = start;
+            while v < u64::MAX {
+                v += 1;
+                prop_assert_eq!(table.bump(0), Ok(v));
+            }
+            for _ in 0..3 {
+                prop_assert_eq!(table.bump(0), Err(VersionError::Exhausted(0)));
+                prop_assert_eq!(table.version(0, 0), Ok(u64::MAX));
+            }
         }
     }
 }

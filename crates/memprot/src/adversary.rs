@@ -1,0 +1,425 @@
+//! Deterministic attack strategies against the functional memories.
+//!
+//! Each [`Adversary`] models one physical-attacker capability from the
+//! paper's threat model (§III): corrupting bits on the memory bus,
+//! relocating ciphertext, replaying previously captured state, rolling
+//! back DRAM-resident metadata, substituting MACs, and splicing state
+//! captured from a *different* protection context (different keys). The
+//! strategies work purely through the [`FunctionalMemory`] attack surface
+//! — exactly what an attacker with DRAM access but no on-chip access has.
+//!
+//! An attack runs in two phases: [`Adversary::observe`] photographs the
+//! victim's state at a chosen moment (only the replay-family attacks use
+//! it), and [`Adversary::inject`] mutates the untrusted store at the
+//! injection point. All randomness (which bits to flip, foreign plaintext)
+//! comes from the caller-supplied [`SplitMix64`], so a seeded harness is
+//! byte-reproducible.
+
+use crate::functional::{BlockCapture, FunctionalMemory};
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::{Addr, BLOCK_SIZE};
+
+/// The attack taxonomy of the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Flip one bit of the stored block.
+    BitFlip,
+    /// Flip several distinct bits of the stored block.
+    MultiBitFlip,
+    /// Copy another protected block's stored state over the victim.
+    BlockSplice,
+    /// Re-supply previously captured state for the same address after the
+    /// victim has moved on (version bumped / counters advanced).
+    Replay,
+    /// Roll back the DRAM-resident metadata (MAC, counters) to a captured
+    /// state while the data stays current.
+    VersionRollback,
+    /// Replace the victim's MAC with another block's MAC.
+    MacSubstitution,
+    /// Install state captured from a different protection context
+    /// (different keys) at the same address.
+    CrossContextSplice,
+}
+
+impl AttackKind {
+    /// Every attack, in presentation order.
+    pub const ALL: [AttackKind; 7] = [
+        AttackKind::BitFlip,
+        AttackKind::MultiBitFlip,
+        AttackKind::BlockSplice,
+        AttackKind::Replay,
+        AttackKind::VersionRollback,
+        AttackKind::MacSubstitution,
+        AttackKind::CrossContextSplice,
+    ];
+
+    /// Stable label used in tables and seed derivation.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::BitFlip => "bit-flip",
+            AttackKind::MultiBitFlip => "multi-bit-flip",
+            AttackKind::BlockSplice => "block-splice",
+            AttackKind::Replay => "replay",
+            AttackKind::VersionRollback => "version-rollback",
+            AttackKind::MacSubstitution => "mac-substitution",
+            AttackKind::CrossContextSplice => "cross-context-splice",
+        }
+    }
+
+    /// Whether the strategy needs an [`Adversary::observe`] pass (the
+    /// replay family re-supplies previously captured state; the victim
+    /// must be rewritten between capture and injection).
+    #[must_use]
+    pub fn needs_capture(self) -> bool {
+        matches!(self, AttackKind::Replay | AttackKind::VersionRollback)
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where and with what an injection happens. The harness picks all fields
+/// deterministically (seeded from model/scheme/attack labels).
+pub struct AttackPoint<'a> {
+    /// Block the attack lands on.
+    pub victim: Addr,
+    /// A different written block in the same memory (splice/MAC donors).
+    pub donor: Addr,
+    /// The version the victim is expected to carry at its next read —
+    /// what a cross-context forger would supply.
+    pub version: u64,
+    /// How many leading bytes of the victim block the consumer actually
+    /// reads. Bit-flip strategies stay inside this window: AES-XTS garbles
+    /// only the 16 B sub-block containing a flipped ciphertext bit, so a
+    /// flip in the padding tail of a partially-used block would be
+    /// invisible to a consumer that truncates — an ineffective injection,
+    /// not a scheme property.
+    pub live_bytes: usize,
+    /// A memory of the same scheme under *different keys*, for
+    /// [`AttackKind::CrossContextSplice`].
+    pub foreign: Option<&'a mut dyn FunctionalMemory>,
+    /// Seeded randomness for the strategy's choices.
+    pub rng: &'a mut SplitMix64,
+}
+
+/// One attack strategy: optionally observe the victim, then inject.
+pub trait Adversary {
+    /// Which attack this strategy implements.
+    fn kind(&self) -> AttackKind;
+
+    /// Photograph whatever the strategy needs from the untrusted store.
+    /// Called at the capture moment (end of the clean reference pass).
+    fn observe(&mut self, mem: &dyn FunctionalMemory, victim: Addr);
+
+    /// Mutate the untrusted store at the injection point. Returns `false`
+    /// when the scheme offers no such surface (the harness records the
+    /// cell as not-applicable).
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool;
+}
+
+/// The bit-flip window of a point, clamped to the block.
+fn live_bytes(point: &AttackPoint<'_>) -> usize {
+    point.live_bytes.clamp(1, BLOCK_SIZE)
+}
+
+/// Build the strategy for `kind`.
+#[must_use]
+pub fn adversary(kind: AttackKind) -> Box<dyn Adversary> {
+    match kind {
+        AttackKind::BitFlip => Box::new(BitFlip),
+        AttackKind::MultiBitFlip => Box::new(MultiBitFlip),
+        AttackKind::BlockSplice => Box::new(BlockSplice),
+        AttackKind::Replay => Box::new(Replay { captured: None }),
+        AttackKind::VersionRollback => Box::new(VersionRollback { captured: None }),
+        AttackKind::MacSubstitution => Box::new(MacSubstitution),
+        AttackKind::CrossContextSplice => Box::new(CrossContextSplice),
+    }
+}
+
+/// Single bit-flip on the stored block.
+#[derive(Debug)]
+pub struct BitFlip;
+
+impl Adversary for BitFlip {
+    fn kind(&self) -> AttackKind {
+        AttackKind::BitFlip
+    }
+    fn observe(&mut self, _mem: &dyn FunctionalMemory, _victim: Addr) {}
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        let bit = point.rng.next_below(8 * live_bytes(point) as u64) as u16;
+        mem.tamper_bits(point.victim, &[bit])
+    }
+}
+
+/// Several distinct bit-flips on the stored block.
+#[derive(Debug)]
+pub struct MultiBitFlip;
+
+impl Adversary for MultiBitFlip {
+    fn kind(&self) -> AttackKind {
+        AttackKind::MultiBitFlip
+    }
+    fn observe(&mut self, _mem: &dyn FunctionalMemory, _victim: Addr) {}
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        // 2..=8 distinct positions: distinctness guarantees the block
+        // actually changes (a bit flipped twice cancels out).
+        let wanted = (2 + point.rng.next_below(7) as usize).min(8 * live_bytes(point));
+        let mut bits: Vec<u16> = Vec::with_capacity(wanted);
+        while bits.len() < wanted {
+            let bit = point.rng.next_below(8 * live_bytes(point) as u64) as u16;
+            if !bits.contains(&bit) {
+                bits.push(bit);
+            }
+        }
+        mem.tamper_bits(point.victim, &bits)
+    }
+}
+
+/// Relocate another block's stored state over the victim.
+#[derive(Debug)]
+pub struct BlockSplice;
+
+impl Adversary for BlockSplice {
+    fn kind(&self) -> AttackKind {
+        AttackKind::BlockSplice
+    }
+    fn observe(&mut self, _mem: &dyn FunctionalMemory, _victim: Addr) {}
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        mem.splice_block(point.donor, point.victim)
+    }
+}
+
+/// Capture the victim's full untrusted state, then re-supply it after the
+/// victim has been rewritten.
+#[derive(Debug)]
+pub struct Replay {
+    captured: Option<BlockCapture>,
+}
+
+impl Adversary for Replay {
+    fn kind(&self) -> AttackKind {
+        AttackKind::Replay
+    }
+    fn observe(&mut self, mem: &dyn FunctionalMemory, victim: Addr) {
+        self.captured = mem.capture_block(victim);
+    }
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        match &self.captured {
+            Some(capture) => mem.restore_block(point.victim, capture),
+            None => false,
+        }
+    }
+}
+
+/// Capture the victim's state, then roll back only the metadata.
+#[derive(Debug)]
+pub struct VersionRollback {
+    captured: Option<BlockCapture>,
+}
+
+impl Adversary for VersionRollback {
+    fn kind(&self) -> AttackKind {
+        AttackKind::VersionRollback
+    }
+    fn observe(&mut self, mem: &dyn FunctionalMemory, victim: Addr) {
+        self.captured = mem.capture_block(victim);
+    }
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        match &self.captured {
+            Some(capture) => mem.rollback_metadata(point.victim, capture),
+            None => false,
+        }
+    }
+}
+
+/// Replace the victim's MAC with the donor's.
+#[derive(Debug)]
+pub struct MacSubstitution;
+
+impl Adversary for MacSubstitution {
+    fn kind(&self) -> AttackKind {
+        AttackKind::MacSubstitution
+    }
+    fn observe(&mut self, _mem: &dyn FunctionalMemory, _victim: Addr) {}
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        mem.substitute_mac(point.victim, point.donor)
+    }
+}
+
+/// Forge the victim block inside a foreign context (same scheme, different
+/// keys) and install the foreign state at the victim address.
+#[derive(Debug)]
+pub struct CrossContextSplice;
+
+impl Adversary for CrossContextSplice {
+    fn kind(&self) -> AttackKind {
+        AttackKind::CrossContextSplice
+    }
+    fn observe(&mut self, _mem: &dyn FunctionalMemory, _victim: Addr) {}
+    fn inject(&mut self, mem: &mut dyn FunctionalMemory, point: &mut AttackPoint<'_>) -> bool {
+        let Some(foreign) = point.foreign.as_deref_mut() else {
+            return false;
+        };
+        // The attacker controls the other context, so it can produce any
+        // plaintext it wants — with the *foreign* keys and metadata.
+        let mut plaintext = [0u8; BLOCK_SIZE];
+        for chunk in plaintext.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&point.rng.next_u64().to_le_bytes());
+        }
+        foreign.write_block(point.victim, point.version, plaintext);
+        let Some(capture) = foreign.capture_block(point.victim) else {
+            return false;
+        };
+        mem.restore_block(point.victim, &capture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{build_functional, TreelessMemory};
+    use crate::SchemeKind;
+    use tnpu_crypto::Key128;
+
+    fn written(kind: SchemeKind) -> Box<dyn FunctionalMemory> {
+        let mut mem = build_functional(kind, Key128::derive(b"adv-test"), 256);
+        mem.write_block(Addr(0), 1, [1u8; 64]);
+        mem.write_block(Addr(64), 1, [2u8; 64]);
+        mem
+    }
+
+    fn point<'a>(rng: &'a mut SplitMix64) -> AttackPoint<'a> {
+        AttackPoint {
+            victim: Addr(0),
+            donor: Addr(64),
+            version: 1,
+            live_bytes: BLOCK_SIZE,
+            foreign: None,
+            rng,
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_by_treeless_only_where_macs_exist() {
+        for kind in SchemeKind::ALL {
+            let mut mem = written(kind);
+            let mut rng = SplitMix64::new(3);
+            let mut adv = adversary(AttackKind::BitFlip);
+            adv.observe(&mem, Addr(0));
+            assert!(adv.inject(&mut mem, &mut point(&mut rng)), "{kind}");
+            let read = mem.read_block(Addr(0), 1);
+            match kind {
+                SchemeKind::Treeless | SchemeKind::TreeBased => {
+                    assert!(read.is_err(), "{kind} must detect the flip");
+                }
+                SchemeKind::EncryptOnly | SchemeKind::Unsecure => {
+                    assert_ne!(
+                        read.expect("no integrity check fires"),
+                        [1u8; 64],
+                        "{kind} silently corrupts"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_flip_changes_block_every_seed() {
+        // Distinctness means an even number of flips can never cancel.
+        for seed in 0..32 {
+            let mut mem = written(SchemeKind::Unsecure);
+            let mut rng = SplitMix64::new(seed);
+            let mut adv = adversary(AttackKind::MultiBitFlip);
+            assert!(adv.inject(&mut mem, &mut point(&mut rng)));
+            assert_ne!(mem.read_block(Addr(0), 1).expect("unprotected"), [1u8; 64]);
+        }
+    }
+
+    #[test]
+    fn bit_flips_respect_the_live_window() {
+        // Flips must land in the bytes the consumer reads, else a
+        // truncating reader never sees the corruption.
+        for seed in 0..16 {
+            let mut mem = written(SchemeKind::Unsecure);
+            let mut rng = SplitMix64::new(seed);
+            let mut adv = adversary(AttackKind::BitFlip);
+            let mut p = point(&mut rng);
+            p.live_bytes = 4;
+            assert!(adv.inject(&mut mem, &mut p));
+            let read = mem.read_block(Addr(0), 1).expect("unprotected");
+            assert_eq!(read[4..], [1u8; 60], "tail untouched");
+            assert_ne!(read[..4], [1u8; 4], "window corrupted");
+        }
+    }
+
+    #[test]
+    fn replay_needs_rewrite_to_matter_and_versions_catch_it() {
+        let mut mem = written(SchemeKind::Treeless);
+        let mut adv = adversary(AttackKind::Replay);
+        adv.observe(&mem, Addr(0));
+        // Victim rewrites under a bumped version; attacker re-supplies the
+        // stale state; the expected version is now 2.
+        mem.write_block(Addr(0), 2, [9u8; 64]);
+        let mut rng = SplitMix64::new(0);
+        let mut p = point(&mut rng);
+        p.version = 2;
+        assert!(adv.inject(&mut mem, &mut p));
+        assert!(mem.read_block(Addr(0), 2).is_err(), "stale MAC must fail");
+    }
+
+    #[test]
+    fn rollback_leaves_data_but_stales_metadata_on_treeless() {
+        let mut mem = TreelessMemory::new(Key128::derive(b"rb"));
+        mem.write_block(Addr(0), 1, [1u8; 64]);
+        let mut adv = adversary(AttackKind::VersionRollback);
+        adv.observe(&mem, Addr(0));
+        mem.write_block(Addr(0), 2, [5u8; 64]);
+        let ct_before = mem.dram().read_block(Addr(0));
+        let mut rng = SplitMix64::new(0);
+        assert!(adv.inject(&mut mem, &mut point(&mut rng)));
+        assert_eq!(mem.dram().read_block(Addr(0)), ct_before, "data untouched");
+        assert!(mem.read_block(Addr(0), 2).is_err(), "stale MAC detected");
+    }
+
+    #[test]
+    fn mac_substitution_not_applicable_without_macs() {
+        for kind in [SchemeKind::Unsecure, SchemeKind::EncryptOnly] {
+            let mut mem = written(kind);
+            let mut rng = SplitMix64::new(0);
+            let mut adv = adversary(AttackKind::MacSubstitution);
+            assert!(!adv.inject(&mut mem, &mut point(&mut rng)), "{kind}");
+        }
+    }
+
+    #[test]
+    fn cross_context_splice_fails_verification_under_victim_keys() {
+        let mut mem = written(SchemeKind::Treeless);
+        let mut foreign = build_functional(SchemeKind::Treeless, Key128::derive(b"other"), 256);
+        let mut rng = SplitMix64::new(1);
+        let mut p = point(&mut rng);
+        p.foreign = Some(&mut foreign);
+        let mut adv = adversary(AttackKind::CrossContextSplice);
+        assert!(adv.inject(&mut mem, &mut p));
+        assert!(
+            mem.read_block(Addr(0), 1).is_err(),
+            "foreign MAC key differs"
+        );
+    }
+
+    #[test]
+    fn strategies_report_their_kind_and_capture_needs() {
+        for kind in AttackKind::ALL {
+            assert_eq!(adversary(kind).kind(), kind);
+        }
+        assert!(AttackKind::Replay.needs_capture());
+        assert!(AttackKind::VersionRollback.needs_capture());
+        assert!(!AttackKind::BitFlip.needs_capture());
+        let labels: std::collections::BTreeSet<_> =
+            AttackKind::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), AttackKind::ALL.len());
+    }
+}

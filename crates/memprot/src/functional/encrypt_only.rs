@@ -8,7 +8,8 @@
 //! confidentiality-only.
 
 use super::dram::RawDram;
-use super::IntegrityError;
+use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError};
+use crate::SchemeKind;
 use tnpu_crypto::xts::XtsMode;
 use tnpu_crypto::Key128;
 use tnpu_sim::{Addr, BLOCK_SIZE};
@@ -67,6 +68,60 @@ impl EncryptOnlyMemory {
     #[must_use]
     pub fn dram(&self) -> &RawDram {
         &self.dram
+    }
+}
+
+impl FunctionalMemory for EncryptOnlyMemory {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::EncryptOnly
+    }
+
+    fn write_block(&mut self, addr: Addr, _version: u64, plaintext: [u8; BLOCK_SIZE]) {
+        EncryptOnlyMemory::write_block(self, addr, plaintext);
+    }
+
+    fn read_block(&self, addr: Addr, _version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        EncryptOnlyMemory::read_block(self, addr)
+    }
+
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool {
+        flip_bits(&mut self.dram, addr, bits)
+    }
+
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture> {
+        Some(BlockCapture {
+            bytes: self.dram.read_block(addr)?,
+            mac: None,
+            counters: None,
+        })
+    }
+
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        self.dram.write_block(addr, capture.bytes);
+        true
+    }
+
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        // No per-block metadata: rolling "the version" back means
+        // re-installing the old ciphertext, which decrypts cleanly.
+        self.dram.write_block(addr, capture.bytes);
+        true
+    }
+
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool {
+        let Some(ct) = self.dram.read_block(donor) else {
+            return false;
+        };
+        self.dram.write_block(victim, ct);
+        true
+    }
+
+    fn substitute_mac(&mut self, _victim: Addr, _donor: Addr) -> bool {
+        false // no MACs exist in this scheme
+    }
+
+    fn dram_contains(&self, needle: &[u8]) -> bool {
+        self.dram.contains_bytes(needle)
     }
 }
 

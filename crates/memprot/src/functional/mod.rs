@@ -13,11 +13,19 @@ pub mod dram;
 pub mod encrypt_only;
 pub mod tree;
 pub mod treeless;
+pub mod unsecure;
 
 pub use dram::RawDram;
 pub use encrypt_only::EncryptOnlyMemory;
 pub use tree::CounterTreeMemory;
 pub use treeless::TreelessMemory;
+pub use unsecure::UnsecureMemory;
+
+use crate::counters::SplitCounterBlock;
+use crate::SchemeKind;
+use tnpu_crypto::mac::MacTag;
+use tnpu_crypto::Key128;
+use tnpu_sim::{Addr, BLOCK_SIZE};
 
 /// Why a protected read was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,9 +67,181 @@ impl std::fmt::Display for IntegrityError {
 
 impl std::error::Error for IntegrityError {}
 
+/// Everything a physical attacker can capture about one block from the
+/// untrusted DRAM: the stored bytes, and whatever per-block metadata the
+/// scheme also keeps there. Fields the scheme does not have are `None` —
+/// an unprotected memory has no MAC to photograph.
+#[derive(Debug, Clone)]
+pub struct BlockCapture {
+    /// The stored bytes (ciphertext, or plaintext for [`UnsecureMemory`]).
+    pub bytes: [u8; BLOCK_SIZE],
+    /// The stored per-block MAC, for schemes that keep one.
+    pub mac: Option<MacTag>,
+    /// The covering SC-64 counter block, for the counter-tree scheme.
+    pub counters: Option<SplitCounterBlock>,
+}
+
+/// Object-safe view of a functional protected memory: the datapath the
+/// secure runner drives, plus the *attack surface* a physical adversary
+/// has — everything DRAM-resident is attacker-readable and -writable, and
+/// nothing on-chip (keys, the tree root, the version table) is.
+///
+/// The `version` parameter of [`write_block`]/[`read_block`] is the
+/// software-managed version number of the tree-less scheme; the other
+/// schemes ignore it (the counter tree manages its own counters, and the
+/// unprotected/encrypt-only memories have nothing to bind it to).
+///
+/// The attack hooks return `false` when the scheme has no such surface
+/// (e.g. [`substitute_mac`] on a memory without MACs) or when the target
+/// block was never written — the harness records those cells as
+/// not-applicable rather than as a survived attack.
+///
+/// [`write_block`]: FunctionalMemory::write_block
+/// [`read_block`]: FunctionalMemory::read_block
+/// [`substitute_mac`]: FunctionalMemory::substitute_mac
+pub trait FunctionalMemory: std::fmt::Debug {
+    /// Which scheme this memory implements.
+    fn scheme(&self) -> SchemeKind;
+
+    /// Encrypt (if applicable) and store a block under `version`.
+    fn write_block(&mut self, addr: Addr, version: u64, plaintext: [u8; BLOCK_SIZE]);
+
+    /// Fetch, verify (if applicable) and decrypt a block, expecting
+    /// `version`.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError`] when nothing was stored or verification fails.
+    fn read_block(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError>;
+
+    /// Flip the given bit positions (`0..512`) of the stored block —
+    /// bus/module tampering. Returns `false` if nothing is stored there.
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool;
+
+    /// Photograph a block's full untrusted state (first half of a replay).
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture>;
+
+    /// Write a capture back over a block's untrusted state (second half of
+    /// a replay, or installation of foreign-context state). Returns `false`
+    /// if the capture lacks metadata this scheme stores.
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool;
+
+    /// Roll back only the *metadata* of a block to a captured state (MAC,
+    /// counters), leaving the current data bytes in place. On schemes with
+    /// no per-block metadata this degenerates to rolling back the data
+    /// itself — the strongest rollback the scheme exposes.
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool;
+
+    /// Copy the stored bytes (and MAC, where present) of `donor` over
+    /// `victim` — ciphertext relocation/splicing. Returns `false` if the
+    /// donor was never written.
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool;
+
+    /// Replace `victim`'s stored MAC with `donor`'s, leaving the data
+    /// untouched. Returns `false` on schemes without MACs or when either
+    /// block has none.
+    fn substitute_mac(&mut self, victim: Addr, donor: Addr) -> bool;
+
+    /// Whether `needle` appears anywhere in the untrusted store — the
+    /// confidentiality probe.
+    fn dram_contains(&self, needle: &[u8]) -> bool;
+}
+
+impl<M: FunctionalMemory + ?Sized> FunctionalMemory for Box<M> {
+    fn scheme(&self) -> SchemeKind {
+        (**self).scheme()
+    }
+    fn write_block(&mut self, addr: Addr, version: u64, plaintext: [u8; BLOCK_SIZE]) {
+        (**self).write_block(addr, version, plaintext);
+    }
+    fn read_block(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        (**self).read_block(addr, version)
+    }
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool {
+        (**self).tamper_bits(addr, bits)
+    }
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture> {
+        (**self).capture_block(addr)
+    }
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        (**self).restore_block(addr, capture)
+    }
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        (**self).rollback_metadata(addr, capture)
+    }
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool {
+        (**self).splice_block(donor, victim)
+    }
+    fn substitute_mac(&mut self, victim: Addr, donor: Addr) -> bool {
+        (**self).substitute_mac(victim, donor)
+    }
+    fn dram_contains(&self, needle: &[u8]) -> bool {
+        (**self).dram_contains(needle)
+    }
+}
+
+/// Construct the functional memory for `kind`. `data_blocks` sizes the
+/// counter tree (the other schemes grow on demand) — pass the protected
+/// footprint in 64 B blocks.
+#[must_use]
+pub fn build_functional(
+    kind: SchemeKind,
+    master: Key128,
+    data_blocks: u64,
+) -> Box<dyn FunctionalMemory> {
+    match kind {
+        SchemeKind::Unsecure => Box::new(UnsecureMemory::new()),
+        SchemeKind::TreeBased => Box::new(CounterTreeMemory::new(master, data_blocks)),
+        SchemeKind::Treeless => Box::new(TreelessMemory::new(master)),
+        SchemeKind::EncryptOnly => Box::new(EncryptOnlyMemory::new(master)),
+    }
+}
+
+/// Flip `bits` (bit positions in `0..512`) of a stored block, the shared
+/// implementation behind every scheme's [`FunctionalMemory::tamper_bits`].
+fn flip_bits(dram: &mut RawDram, addr: Addr, bits: &[u16]) -> bool {
+    let Some(block) = dram.block_mut(addr) else {
+        return false;
+    };
+    for &bit in bits {
+        let byte = (bit as usize / 8) % BLOCK_SIZE;
+        block[byte] ^= 1 << (bit % 8);
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_functional_reports_scheme() {
+        for kind in SchemeKind::ALL {
+            let mem = build_functional(kind, Key128::derive(b"build"), 256);
+            assert_eq!(mem.scheme(), kind);
+        }
+    }
+
+    #[test]
+    fn trait_datapath_roundtrips_on_every_scheme() {
+        for kind in SchemeKind::ALL {
+            let mut mem = build_functional(kind, Key128::derive(b"roundtrip"), 256);
+            mem.write_block(Addr(128), 3, [0x5au8; 64]);
+            assert_eq!(
+                mem.read_block(Addr(128), 3).expect("clean read verifies"),
+                [0x5au8; 64],
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn tamper_bits_on_missing_block_reports_false() {
+        for kind in SchemeKind::ALL {
+            let mut mem = build_functional(kind, Key128::derive(b"missing"), 256);
+            assert!(!mem.tamper_bits(Addr(0), &[0]), "{kind}");
+        }
+    }
 
     #[test]
     fn error_display() {

@@ -3,9 +3,10 @@
 //! the baseline scheme of the paper over real bytes.
 
 use super::dram::RawDram;
-use super::IntegrityError;
+use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError};
 use crate::counters::{Bump, SplitCounterBlock};
 use crate::tree::TreeGeometry;
+use crate::SchemeKind;
 use std::collections::BTreeMap;
 use tnpu_crypto::ctr::CtrMode;
 use tnpu_crypto::mac::{BlockMac, MacTag};
@@ -280,6 +281,89 @@ impl CounterTreeMemory {
         self.dram.write_block(addr, snapshot.ciphertext);
         self.macs.insert(block, snapshot.mac);
         self.counters.insert(cb, snapshot.counter_block);
+    }
+}
+
+impl FunctionalMemory for CounterTreeMemory {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::TreeBased
+    }
+
+    fn write_block(&mut self, addr: Addr, _version: u64, plaintext: [u8; BLOCK_SIZE]) {
+        // The hardware manages its own counters; the software version
+        // number has no role in this scheme.
+        CounterTreeMemory::write_block(self, addr, plaintext);
+    }
+
+    fn read_block(&self, addr: Addr, _version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        CounterTreeMemory::read_block(self, addr)
+    }
+
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool {
+        flip_bits(&mut self.dram, addr, bits)
+    }
+
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture> {
+        let snap = self.snapshot(addr)?;
+        Some(BlockCapture {
+            bytes: snap.ciphertext,
+            mac: Some(snap.mac),
+            counters: Some(snap.counter_block),
+        })
+    }
+
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        let (Some(mac), Some(counters)) = (capture.mac, capture.counters.clone()) else {
+            return false;
+        };
+        self.restore(
+            addr,
+            TreeSnapshot {
+                ciphertext: capture.bytes,
+                mac,
+                counter_block: counters,
+            },
+        );
+        true
+    }
+
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        // Roll back the DRAM-resident counter block and MAC only; the
+        // ciphertext stays current. The tree path is not (and cannot be)
+        // recomputed by the attacker — the root stayed on-chip.
+        let (Some(mac), Some(counters)) = (capture.mac, capture.counters.clone()) else {
+            return false;
+        };
+        let block = addr.block().0;
+        self.macs.insert(block, mac);
+        self.counters.insert(self.counter_block_of(block), counters);
+        true
+    }
+
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool {
+        // Physical relocation: ciphertext and MAC move; the counters are
+        // whatever already covers the victim address.
+        let Some(ct) = self.dram.read_block(donor) else {
+            return false;
+        };
+        let Some(mac) = self.macs.get(&donor.block().0).copied() else {
+            return false;
+        };
+        self.dram.write_block(victim, ct);
+        self.macs.insert(victim.block().0, mac);
+        true
+    }
+
+    fn substitute_mac(&mut self, victim: Addr, donor: Addr) -> bool {
+        let Some(mac) = self.macs.get(&donor.block().0).copied() else {
+            return false;
+        };
+        self.macs.insert(victim.block().0, mac);
+        true
+    }
+
+    fn dram_contains(&self, needle: &[u8]) -> bool {
+        self.dram.contains_bytes(needle)
     }
 }
 

@@ -2,7 +2,8 @@
 //! real bytes (paper Fig. 12).
 
 use super::dram::RawDram;
-use super::IntegrityError;
+use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError};
+use crate::SchemeKind;
 use std::collections::BTreeMap;
 use tnpu_crypto::mac::{BlockMac, MacTag};
 use tnpu_crypto::xts::XtsMode;
@@ -124,6 +125,71 @@ impl TreelessMemory {
     pub fn restore(&mut self, addr: Addr, snapshot: ([u8; BLOCK_SIZE], MacTag)) {
         self.dram.write_block(addr, snapshot.0);
         self.macs.insert(addr.block().0, snapshot.1);
+    }
+}
+
+impl FunctionalMemory for TreelessMemory {
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Treeless
+    }
+
+    fn write_block(&mut self, addr: Addr, version: u64, plaintext: [u8; BLOCK_SIZE]) {
+        TreelessMemory::write_block(self, addr, version, plaintext);
+    }
+
+    fn read_block(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        TreelessMemory::read_block(self, addr, version)
+    }
+
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool {
+        flip_bits(&mut self.dram, addr, bits)
+    }
+
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture> {
+        let (bytes, mac) = self.snapshot(addr)?;
+        Some(BlockCapture {
+            bytes,
+            mac: Some(mac),
+            counters: None,
+        })
+    }
+
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        let Some(mac) = capture.mac else {
+            return false; // a MAC-less capture has nothing to install here
+        };
+        self.restore(addr, (capture.bytes, mac));
+        true
+    }
+
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        // The MAC region is ordinary untrusted DRAM: roll only it back,
+        // leaving the current ciphertext in place.
+        let Some(mac) = capture.mac else {
+            return false;
+        };
+        self.set_mac(addr, mac);
+        true
+    }
+
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool {
+        let Some(snap) = self.snapshot(donor) else {
+            return false;
+        };
+        self.restore(victim, snap);
+        true
+    }
+
+    fn substitute_mac(&mut self, victim: Addr, donor: Addr) -> bool {
+        let Some(tag) = self.macs.get(&donor.block().0).copied() else {
+            return false;
+        };
+        self.set_mac(victim, tag);
+        true
+    }
+
+    fn dram_contains(&self, needle: &[u8]) -> bool {
+        self.dram.contains_bytes(needle)
     }
 }
 

@@ -26,6 +26,7 @@
 //! are testable, with genuine SC-64 split counters ([`counters`]) including
 //! minor-overflow page re-encryption.
 
+pub mod adversary;
 pub mod config;
 pub mod counters;
 pub mod encrypt_only;

@@ -79,7 +79,10 @@ impl TreeBasedEngine {
 
     fn clamp_block(&self, addr: Addr) -> BlockAddr {
         let block = addr.block();
-        debug_assert!(
+        // A hard assert, not debug_assert: in release builds an
+        // out-of-range address would otherwise silently alias (modulo)
+        // into the protected region and charge the wrong metadata blocks.
+        assert!(
             self.layout.contains_block(block),
             "access at {addr} outside protected region"
         );
@@ -427,6 +430,15 @@ mod tests {
         );
         // A flush of clean caches is free.
         assert_eq!(e.flush(), AccessCost::FREE);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside protected region")]
+    fn out_of_range_access_panics_instead_of_aliasing() {
+        // Mirror of the treeless-engine regression test: the shared
+        // clamp_block pattern must reject, not alias, in release builds.
+        let mut e = engine();
+        e.write_block(Addr(4 << 30), 0);
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl TreelessEngine {
 
     fn clamp_block(&self, addr: Addr) -> BlockAddr {
         let block = addr.block();
-        debug_assert!(
+        // A hard assert, not debug_assert: in release builds an
+        // out-of-range address would otherwise silently alias (modulo)
+        // into the protected region and charge the wrong metadata blocks.
+        assert!(
             self.layout.contains_block(block),
             "access at {addr} outside protected region"
         );
@@ -157,6 +160,9 @@ impl ProtectionEngine for TreelessEngine {
         self.traffic = TrafficStats::default();
         self.events = EventCounters::default();
         self.mac_cache.reset_stats();
+        // The version cache was missing here, so its hit/miss counters
+        // leaked across resets (caught by the flush round-trip proptest).
+        self.version_cache.reset_stats();
         self.inner.reset_stats();
     }
 
@@ -272,6 +278,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "outside protected region")]
+    fn out_of_range_access_panics_instead_of_aliasing() {
+        // Regression test: the bound check was debug_assert!-only, so a
+        // release build silently wrapped out-of-range addresses modulo
+        // data_blocks() back into the protected region.
+        let mut e = engine();
+        e.read_block(Addr(4 << 30), 1);
+    }
+
+    #[test]
     fn flush_accounts_dirty_mac_writebacks() {
         // Regression test: streaming writes leave dirty MAC lines; a flush
         // must report their write-back instead of dropping them.
@@ -284,5 +300,43 @@ mod tests {
         assert!(cost.meta_bytes > 0, "dirty MAC lines must be written back");
         assert!(e.stats().traffic.mac > before);
         assert_eq!(e.flush(), AccessCost::FREE, "second flush is clean");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any access sequence, `flush` + `reset_stats` round-trips
+        /// the engine to a state byte-identical to a freshly built one
+        /// (compared through the exhaustive `Debug` rendering): no cache
+        /// line, LRU stamp, write count, traffic byte or event survives,
+        /// so a reused engine can never leak warm state into the next
+        /// measurement.
+        #[test]
+        fn flush_and_reset_roundtrip_to_fresh(
+            ops in prop::collection::vec((0u8..3, 0u64..4096), 1..48),
+        ) {
+            let mut e = TreelessEngine::new(ProtectionConfig::paper_default());
+            for (op, a) in ops {
+                match op {
+                    0 => {
+                        e.read_block(Addr(a * 64), 1);
+                    }
+                    1 => {
+                        e.write_block(Addr(a * 64), 1);
+                    }
+                    _ => {
+                        e.version_access(Addr(a), a % 2 == 0);
+                    }
+                }
+            }
+            e.flush();
+            e.reset_stats();
+            let fresh = TreelessEngine::new(ProtectionConfig::paper_default());
+            prop_assert_eq!(format!("{e:?}"), format!("{fresh:?}"));
+        }
     }
 }

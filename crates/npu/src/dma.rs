@@ -41,14 +41,22 @@ pub enum DmaPattern {
 
 impl DmaPattern {
     /// Total payload bytes moved.
+    ///
+    /// Panics if `rows * row_bytes` overflows `u64`: a descriptor that
+    /// large cannot describe a real transfer, and wrapping here would
+    /// silently under-account traffic downstream.
     #[must_use]
     pub fn bytes(&self) -> u64 {
         match self {
             DmaPattern::Contiguous { bytes, .. } => *bytes,
             DmaPattern::Strided {
                 rows, row_bytes, ..
-            } => rows * row_bytes,
-            DmaPattern::Scattered { rows, row_bytes } => rows.len() as u64 * row_bytes,
+            } => rows
+                .checked_mul(*row_bytes)
+                .expect("strided DMA payload overflows u64"),
+            DmaPattern::Scattered { rows, row_bytes } => (rows.len() as u64)
+                .checked_mul(*row_bytes)
+                .expect("scattered DMA payload overflows u64"),
         }
     }
 
@@ -77,7 +85,10 @@ impl DmaPattern {
                 stride,
             } => {
                 for r in 0..*rows {
-                    let start = base.offset(r * stride);
+                    let start = base.offset(
+                        r.checked_mul(*stride)
+                            .expect("strided DMA row offset overflows u64"),
+                    );
                     for b in blocks_covering(start, *row_bytes) {
                         visit(b, &mut f);
                     }
@@ -96,8 +107,8 @@ impl DmaPattern {
     /// Count of block accesses this transfer performs.
     #[must_use]
     pub fn block_count(&self) -> u64 {
-        let mut n = 0;
-        self.for_each_block(|_| n += 1);
+        let mut n: u64 = 0;
+        self.for_each_block(|_| n = n.saturating_add(1));
         n
     }
 }
@@ -208,5 +219,92 @@ mod tests {
             bytes: 0,
         };
         assert_eq!(p.block_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strided DMA payload overflows u64")]
+    fn overflowing_strided_payload_panics() {
+        let p = DmaPattern::Strided {
+            base: Addr(0),
+            rows: u64::MAX,
+            row_bytes: 2,
+            stride: 64,
+        };
+        let _ = p.bytes();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The block stream a per-byte walk of the pattern would produce, with
+    /// *consecutive* duplicates removed. This is the reference semantics of
+    /// `for_each_block`: the DMA engine coalesces sequential accesses to the
+    /// same block but re-issues an access when the stream returns to a block
+    /// after leaving it (no global dedup).
+    fn naive_blocks(rows: &[(u64, u64)]) -> Vec<BlockAddr> {
+        let mut out: Vec<BlockAddr> = Vec::new();
+        for &(start, row_bytes) in rows {
+            for i in 0..row_bytes {
+                let b = Addr(start + i).block();
+                if out.last() != Some(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    fn collected(p: &DmaPattern) -> Vec<BlockAddr> {
+        let mut v = Vec::new();
+        p.for_each_block(|b| v.push(b));
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn strided_matches_per_byte_enumeration(
+            base in 0u64..512,
+            rows in 0u64..6,
+            row_bytes in 0u64..200,
+            stride in 0u64..512,
+        ) {
+            let p = DmaPattern::Strided {
+                base: Addr(base),
+                rows,
+                row_bytes,
+                stride,
+            };
+            let reference: Vec<(u64, u64)> =
+                (0..rows).map(|r| (base + r * stride, row_bytes)).collect();
+            prop_assert_eq!(collected(&p), naive_blocks(&reference));
+            prop_assert_eq!(p.bytes(), rows * row_bytes);
+        }
+
+        #[test]
+        fn scattered_matches_per_byte_enumeration(
+            starts in prop::collection::vec(0u64..2048, 0..6),
+            row_bytes in 0u64..200,
+        ) {
+            let p = DmaPattern::Scattered {
+                rows: starts.iter().map(|&s| Addr(s)).collect(),
+                row_bytes,
+            };
+            let reference: Vec<(u64, u64)> =
+                starts.iter().map(|&s| (s, row_bytes)).collect();
+            prop_assert_eq!(collected(&p), naive_blocks(&reference));
+            prop_assert_eq!(p.bytes(), starts.len() as u64 * row_bytes);
+        }
+
+        #[test]
+        fn contiguous_matches_per_byte_enumeration(
+            base in 0u64..512,
+            bytes in 0u64..600,
+        ) {
+            let p = DmaPattern::Contiguous { base: Addr(base), bytes };
+            prop_assert_eq!(collected(&p), naive_blocks(&[(base, bytes)]));
+        }
     }
 }

@@ -208,6 +208,12 @@ impl Cache {
     /// reported victim also counts toward [`CacheStats::writebacks`].
     /// Statistics are preserved; use [`reset_stats`] to clear them.
     ///
+    /// The LRU tick restarts from zero: with every line dropped, stamps
+    /// only matter relatively among lines inserted *after* the flush, so
+    /// rebasing cannot change any future eviction decision — and a flushed,
+    /// stat-reset cache is indistinguishable from a fresh one (which the
+    /// engine round-trip tests rely on).
+    ///
     /// [`invalidate`]: Cache::invalidate
     /// [`reset_stats`]: Cache::reset_stats
     pub fn flush(&mut self) -> Vec<Addr> {
@@ -222,6 +228,7 @@ impl Cache {
                 }
             }
         }
+        self.tick = 0;
         victims.sort_unstable();
         self.stats.writebacks += victims.len() as u64;
         victims
