@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint attacks check
+.PHONY: build test fmt clippy lint attacks check bench
 
 build:
 	cargo build --release --workspace --locked
@@ -23,5 +23,14 @@ lint:
 # --deny-undetected fails if any cell contradicts the paper's claims.
 attacks:
 	cargo run -p tnpu-bench --release --locked --bin attacks -- --deny-undetected
+
+# Perf-trajectory harness: run the full experiment matrix and append one
+# timing record (per-pool and total wall seconds, thread count, cell
+# count) to BENCH_sweep.json. stdout still carries the byte-stable
+# results; compare it against the checked-in golden output.
+bench:
+	cargo build --release -p tnpu-bench --locked
+	./target/release/experiments --bench-json BENCH_sweep.json all > /tmp/tnpu_bench_out.txt
+	diff -q results_full.txt /tmp/tnpu_bench_out.txt
 
 check: build test fmt clippy lint attacks

@@ -11,17 +11,16 @@
 //! * **Version granularity** — the tile size used for version expansion
 //!   trades peak version-table storage against per-`mvout` table pressure.
 
-use crate::sweep as pool;
+use crate::traced;
 use tnpu_core::RunSpec;
 use tnpu_memprot::{ProtectionConfig, SchemeKind};
 use tnpu_npu::{NpuConfig, RunReport};
 
-/// Execute a list of cells on the session worker pool, recording its
-/// timings for the end-of-run summary. Results keep input order.
+/// Execute a list of cells on the session worker pool — batched by trace
+/// group (see [`crate::traced`]) — recording its timings for the
+/// end-of-run summary. Results keep input order.
 fn run_cells(experiment: &str, specs: &[RunSpec]) -> Vec<RunReport> {
-    pool::run_ordered(experiment, specs, RunSpec::label, |spec| {
-        spec.execute().into_slowest()
-    })
+    traced::run_specs(experiment, specs)
 }
 
 /// Overheads of `variants` (each a scheme + protection config) on the

@@ -1,7 +1,7 @@
 //! CLI driver regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--threads N] [target ...]
+//! experiments [--quick] [--threads N] [--bench-json PATH] [target ...]
 //! targets: table2 table3 fig4 fig5 fig14 fig15 fig16 fig17 vtable hwcost all
 //! ```
 //!
@@ -9,7 +9,9 @@
 //! `--threads N` (or the `TNPU_THREADS` environment variable, defaulting
 //! to all cores). stdout is byte-identical at any thread count; the
 //! timing summary — per-job wall times and the aggregate speedup — goes
-//! to stderr.
+//! to stderr. `--bench-json PATH` additionally appends one JSON record of
+//! the run's pool timings to the array in `PATH` (creating it if absent),
+//! growing the perf-trajectory log `make bench` maintains.
 
 use tnpu_bench::experiments::{self, model_list};
 use tnpu_bench::{sweep, tables};
@@ -27,6 +29,7 @@ fn parse_thread_count(value: &str) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut bench_json: Option<std::path::PathBuf> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -40,6 +43,14 @@ fn main() {
             sweep::set_threads(parse_thread_count(value));
         } else if let Some(value) = arg.strip_prefix("--threads=") {
             sweep::set_threads(parse_thread_count(value));
+        } else if arg == "--bench-json" {
+            let Some(value) = iter.next() else {
+                eprintln!("--bench-json wants a path");
+                std::process::exit(2);
+            };
+            bench_json = Some(value.into());
+        } else if let Some(value) = arg.strip_prefix("--bench-json=") {
+            bench_json = Some(value.into());
         } else if arg.starts_with("--") {
             eprintln!("unknown flag: {arg}");
             std::process::exit(2);
@@ -124,8 +135,18 @@ fn main() {
     }
 
     // Timing telemetry is nondeterministic, so it goes to stderr only —
-    // stdout must stay byte-identical at any thread count.
-    if let Some(summary) = sweep::session_summary() {
+    // stdout must stay byte-identical at any thread count. The optional
+    // benchmark record goes to its own file, never to stdout.
+    let pools = sweep::take_session();
+    if let Some(summary) = sweep::summarize(&pools) {
         eprint!("{summary}");
+    }
+    if let Some(path) = bench_json {
+        let record = sweep::bench_record_json(&args.join(" "), sweep::threads(), &pools);
+        if let Err(e) = sweep::append_bench_json(&path, &record) {
+            eprintln!("cannot write benchmark record to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("benchmark record appended to {}", path.display());
     }
 }

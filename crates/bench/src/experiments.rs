@@ -6,6 +6,7 @@
 //! end-to-end respectively).
 
 use crate::sweep::{self as pool, PoolReport};
+use crate::traced;
 use std::collections::BTreeMap;
 use tnpu_core::endtoend::{run_end_to_end_seeded, EndToEndReport};
 use tnpu_core::RunSpec;
@@ -146,15 +147,13 @@ pub fn sweep_with_threads(
     models: &[&str],
     npu_counts: &[usize],
 ) -> (Sweep, PoolReport) {
-    let jobs = sweep_specs(models, npu_counts);
-    let (results, report) = pool::run_ordered_with(
-        threads,
-        FIGURES_EXPERIMENT,
-        &jobs,
-        |(_, spec)| spec.label(),
-        |(_, spec)| spec.execute().into_slowest(),
-    );
-    let runs = jobs.into_iter().map(|(key, _)| key).zip(results).collect();
+    let (keys, specs): (Vec<SweepKey>, Vec<RunSpec>) =
+        sweep_specs(models, npu_counts).into_iter().unzip();
+    // One pool job per (model, config) trace group: the trace is lowered
+    // once at the largest NPU count and replayed for every scheme x count
+    // member (see `crate::traced`).
+    let (results, report) = traced::run_specs_with(threads, FIGURES_EXPERIMENT, &specs);
+    let runs = keys.into_iter().zip(results).collect();
     (Sweep { runs }, report)
 }
 

@@ -21,6 +21,7 @@ pub mod attacks;
 pub mod experiments;
 pub mod sweep;
 pub mod tables;
+pub mod traced;
 
 pub use experiments::{Sweep, SweepKey};
 pub use sweep::PoolReport;

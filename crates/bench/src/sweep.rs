@@ -84,6 +84,10 @@ pub struct PoolReport {
     pub wall: Duration,
     /// Per-job timings, in input (= output) order.
     pub jobs: Vec<JobTiming>,
+    /// Experiment cells the pool computed. Equal to `jobs.len()` unless
+    /// the runner batched several cells into one job (the trace-grouped
+    /// runner in [`crate::traced`] does), in which case it exceeds it.
+    pub cells: usize,
 }
 
 impl PoolReport {
@@ -102,10 +106,14 @@ impl PoolReport {
     /// Render the per-job wall times and the aggregate speedup line.
     #[must_use]
     pub fn render(&self) -> String {
+        let shape = if self.cells == self.jobs.len() {
+            format!("{} jobs", self.jobs.len())
+        } else {
+            format!("{} cells in {} jobs", self.cells, self.jobs.len())
+        };
         let mut out = format!(
-            "pool '{}': {} jobs on {} thread(s): wall {:.3} s, serial {:.3} s, speedup {:.2}x\n",
+            "pool '{}': {shape} on {} thread(s): wall {:.3} s, serial {:.3} s, speedup {:.2}x\n",
             self.name,
-            self.jobs.len(),
             self.threads,
             self.wall.as_secs_f64(),
             self.serial().as_secs_f64(),
@@ -196,6 +204,7 @@ where
             wall: job_wall,
         });
     }
+    let cells = timings.len();
     (
         results,
         PoolReport {
@@ -203,6 +212,7 @@ where
             threads: width,
             wall,
             jobs: timings,
+            cells,
         },
     )
 }
@@ -235,13 +245,12 @@ pub fn take_session() -> Vec<PoolReport> {
     std::mem::take(&mut *SESSION.lock().expect("session registry"))
 }
 
-/// Drain the session registry and render every pool's timings plus the
-/// cross-pool aggregate speedup. `None` if no pool ran. Print this to
-/// stderr only: job durations vary run to run, and stdout must stay
-/// byte-identical at any thread count.
+/// Render every pool's timings plus the cross-pool aggregate speedup.
+/// `None` if `pools` is empty. Print this to stderr only: job durations
+/// vary run to run, and stdout must stay byte-identical at any thread
+/// count.
 #[must_use]
-pub fn session_summary() -> Option<String> {
-    let pools = take_session();
+pub fn summarize(pools: &[PoolReport]) -> Option<String> {
     if pools.is_empty() {
         return None;
     }
@@ -249,20 +258,109 @@ pub fn session_summary() -> Option<String> {
     let mut wall = Duration::ZERO;
     let mut serial = Duration::ZERO;
     let mut jobs = 0;
-    for pool in &pools {
+    let mut cells = 0;
+    for pool in pools {
         out += &pool.render();
         wall += pool.wall;
         serial += pool.serial();
         jobs += pool.jobs.len();
+        cells += pool.cells;
     }
     out += &format!(
-        "total: {jobs} jobs in {} pool(s): wall {:.3} s, serial-equivalent {:.3} s, aggregate speedup {:.2}x\n",
+        "total: {cells} cells as {jobs} jobs in {} pool(s): wall {:.3} s, serial-equivalent {:.3} s, aggregate speedup {:.2}x\n",
         pools.len(),
         wall.as_secs_f64(),
         serial.as_secs_f64(),
         serial.as_secs_f64() / wall.as_secs_f64().max(1e-9),
     );
     Some(out)
+}
+
+/// Drain the session registry and render it (see [`summarize`]).
+#[must_use]
+pub fn session_summary() -> Option<String> {
+    summarize(&take_session())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// the vendored tree has no JSON crate, and the benchmark records only
+/// need scalars and flat objects.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out += "\\\"",
+            '\\' => out += "\\\\",
+            c if (c as u32) < 0x20 => out += &format!("\\u{:04x}", c as u32),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One benchmark record — the per-pool and total wall seconds of a
+/// harness run — as a JSON object, for the perf-trajectory log
+/// (`experiments --bench-json PATH`).
+#[must_use]
+pub fn bench_record_json(label: &str, threads: usize, pools: &[PoolReport]) -> String {
+    let mut wall = Duration::ZERO;
+    let mut serial = Duration::ZERO;
+    let mut jobs = 0;
+    let mut cells = 0;
+    let mut entries = String::new();
+    for (i, pool) in pools.iter().enumerate() {
+        if i > 0 {
+            entries += ",\n";
+        }
+        entries += &format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"jobs\": {}, \"cells\": {}, \"wall_s\": {:.6}, \"serial_s\": {:.6}}}",
+            json_escape(&pool.name),
+            pool.threads,
+            pool.jobs.len(),
+            pool.cells,
+            pool.wall.as_secs_f64(),
+            pool.serial().as_secs_f64(),
+        );
+        wall += pool.wall;
+        serial += pool.serial();
+        jobs += pool.jobs.len();
+        cells += pool.cells;
+    }
+    format!(
+        "{{\n  \"label\": \"{}\",\n  \"threads\": {threads},\n  \"pools\": [\n{entries}\n  ],\n  \"total_jobs\": {jobs},\n  \"total_cells\": {cells},\n  \"total_wall_s\": {:.6},\n  \"total_serial_s\": {:.6}\n}}",
+        json_escape(label),
+        wall.as_secs_f64(),
+        serial.as_secs_f64(),
+    )
+}
+
+/// Append `record` (a JSON object) to the JSON array in the file at
+/// `path`, creating the file as a one-element array if it does not exist
+/// or does not already end in `]`. Successive harness runs therefore grow
+/// a trajectory of timing records.
+///
+/// # Errors
+///
+/// Propagates any I/O error reading or writing `path`.
+pub fn append_bench_json(path: &std::path::Path, record: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim_end();
+    let out = match trimmed.strip_suffix(']') {
+        Some(head) if !trimmed.is_empty() => {
+            let head = head.trim_end();
+            let head = head.strip_suffix('[').map_or_else(
+                || format!("{head},\n"),         // non-empty array: separate records
+                |opened| format!("{opened}[\n"), // empty array: first record
+            );
+            format!("{head}{record}\n]\n")
+        }
+        _ => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, out)
 }
 
 #[cfg(test)]
@@ -295,9 +393,8 @@ mod tests {
         assert!(report.jobs.is_empty());
     }
 
-    #[test]
-    fn report_renders_jobs_and_speedup() {
-        let report = PoolReport {
+    fn demo_report() -> PoolReport {
+        PoolReport {
             name: "demo".to_owned(),
             threads: 2,
             wall: Duration::from_millis(50),
@@ -311,7 +408,13 @@ mod tests {
                     wall: Duration::from_millis(40),
                 },
             ],
-        };
+            cells: 2,
+        }
+    }
+
+    #[test]
+    fn report_renders_jobs_and_speedup() {
+        let report = demo_report();
         assert_eq!(report.serial(), Duration::from_millis(100));
         assert!((report.speedup() - 2.0).abs() < 1e-9);
         let rendered = report.render();
@@ -319,6 +422,53 @@ mod tests {
         assert!(rendered.contains("speedup 2.00x"));
         assert!(rendered.contains("  a"));
         assert!(rendered.contains("  b"));
+    }
+
+    #[test]
+    fn report_renders_batched_cells() {
+        let mut report = demo_report();
+        report.cells = 7;
+        assert!(report
+            .render()
+            .contains("pool 'demo': 7 cells in 2 jobs on 2 thread(s)"));
+        assert!(summarize(&[report])
+            .expect("one pool")
+            .contains("7 cells as 2 jobs in 1 pool(s)"));
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn bench_record_is_wellformed_json_by_inspection() {
+        let record = bench_record_json("all --quick", 3, &[demo_report()]);
+        assert!(record.starts_with("{\n  \"label\": \"all --quick\","));
+        assert!(record.contains("\"threads\": 3,"));
+        assert!(record.contains(
+            "{\"name\": \"demo\", \"threads\": 2, \"jobs\": 2, \"cells\": 2, \"wall_s\": 0.050000, \"serial_s\": 0.100000}"
+        ));
+        assert!(record.contains("\"total_jobs\": 2,"));
+        assert!(record.contains("\"total_wall_s\": 0.050000,"));
+        assert!(record.ends_with("}"));
+        // Escaping: a label with quotes must not break the quoting.
+        let tricky = bench_record_json("say \"hi\"\\", 1, &[]);
+        assert!(tricky.contains("\"label\": \"say \\\"hi\\\"\\\\\","));
+    }
+
+    #[test]
+    fn bench_json_appends_records_into_one_array() {
+        let dir = std::env::temp_dir().join(format!("tnpu-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_file(&path);
+        append_bench_json(&path, "{\"a\": 1}").expect("first write");
+        append_bench_json(&path, "{\"b\": 2}").expect("second write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "[\n{\"a\": 1},\n{\"b\": 2}\n]\n");
+        // Appending to a hand-seeded empty array also works.
+        std::fs::write(&path, "[]\n").expect("seed");
+        append_bench_json(&path, "{\"c\": 3}").expect("append to empty");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "[\n{\"c\": 3}\n]\n");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

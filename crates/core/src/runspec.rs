@@ -25,9 +25,9 @@
 // tnpu-lint: allow(wallclock) — wall time is measured only around the whole
 // job for the stderr timing report; nothing simulated can observe it.
 use std::time::{Duration, Instant};
-use tnpu_memprot::{ProtectionConfig, SchemeKind};
+use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
 use tnpu_models::registry;
-use tnpu_npu::{simulate_multi_seeded, NpuConfig, RunReport};
+use tnpu_npu::{NpuConfig, RunReport, TileTrace};
 use tnpu_sim::rng::SplitMix64;
 
 /// Description of one simulated run: a single cell of an experiment grid.
@@ -84,6 +84,36 @@ impl RunSpec {
         SplitMix64::seed_from_labels(&[&self.experiment, &self.model, self.config.name])
     }
 
+    /// The key under which this cell's tile trace can be shared: cells
+    /// with equal keys lower identical plans, because the trace depends
+    /// only on the seed inputs `(experiment, model, config)` plus the NPU
+    /// index — never on the scheme, the NPU count, or the protection
+    /// parameters (see [`TileTrace`]).
+    #[must_use]
+    pub fn trace_key(&self) -> (String, String, String) {
+        (
+            self.experiment.clone(),
+            self.model.clone(),
+            self.config.name.to_owned(),
+        )
+    }
+
+    /// Lower this cell's tile trace for up to `npus` NPUs — build it at
+    /// the largest NPU count of a [`trace_key`] group and every member
+    /// replays a prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model name is not registered or `npus` is zero.
+    ///
+    /// [`trace_key`]: RunSpec::trace_key
+    #[must_use]
+    pub fn build_trace(&self, npus: usize) -> TileTrace {
+        let model = registry::model(&self.model)
+            .unwrap_or_else(|| panic!("model {:?} is not registered", self.model));
+        TileTrace::build_replicated(&model, &self.config, npus, self.seed())
+    }
+
     /// Execute the cell on the calling thread.
     ///
     /// # Panics
@@ -91,19 +121,31 @@ impl RunSpec {
     /// Panics if the model name is not registered.
     #[must_use]
     pub fn execute(&self) -> RunResult {
-        let model = registry::model(&self.model)
-            .unwrap_or_else(|| panic!("model {:?} is not registered", self.model));
         // tnpu-lint: allow(wallclock) — brackets the job for RunResult::wall
         // (stderr-only); the simulation inside sees cycle time exclusively.
         let start = Instant::now();
-        let reports = simulate_multi_seeded(
-            &model,
-            &self.config,
-            self.scheme,
-            self.npus,
-            &self.protection,
-            self.seed(),
-        );
+        let trace = self.build_trace(self.npus);
+        let mut result = self.execute_with(&trace);
+        result.wall = start.elapsed();
+        result
+    }
+
+    /// Execute the cell against an already-lowered `trace` (which must
+    /// come from a spec with the same [`trace_key`] and cover at least
+    /// `self.npus` NPUs) — the sweep runners' replay path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace covers fewer NPUs than the cell needs.
+    ///
+    /// [`trace_key`]: RunSpec::trace_key
+    #[must_use]
+    pub fn execute_with(&self, trace: &TileTrace) -> RunResult {
+        let engine = build_engine(self.scheme, &self.protection);
+        // tnpu-lint: allow(wallclock) — same stderr-only job timing as
+        // `execute`; nothing simulated can observe it.
+        let start = Instant::now();
+        let reports = trace.replay(engine, &self.config, self.npus);
         RunResult {
             reports,
             wall: start.elapsed(),
@@ -226,5 +268,41 @@ mod tests {
     #[test]
     fn label_is_fully_qualified() {
         assert_eq!(spec(SchemeKind::TreeBased).label(), "df/small/baseline/1");
+    }
+
+    #[test]
+    fn trace_key_groups_by_seed_inputs_only() {
+        let base = spec(SchemeKind::Unsecure);
+        let mut other_scheme = spec(SchemeKind::Treeless);
+        other_scheme.npus = 3;
+        assert_eq!(
+            base.trace_key(),
+            other_scheme.trace_key(),
+            "scheme and NPU count must not split a trace group"
+        );
+        let mut other_model = base.clone();
+        other_model.model = "ncf".to_owned();
+        assert_ne!(base.trace_key(), other_model.trace_key());
+    }
+
+    #[test]
+    fn execute_with_shared_trace_matches_execute() {
+        // The replay path the sweep runners use: one trace built at the
+        // group's largest NPU count serves every scheme and every smaller
+        // count bit-identically.
+        let mut two = spec(SchemeKind::TreeBased);
+        two.npus = 2;
+        let trace = two.build_trace(2);
+        for scheme in [SchemeKind::Unsecure, SchemeKind::Treeless] {
+            for npus in [1usize, 2] {
+                let mut s = spec(scheme);
+                s.npus = npus;
+                assert_eq!(
+                    s.execute_with(&trace).reports,
+                    s.execute().reports,
+                    "{scheme}/{npus}"
+                );
+            }
+        }
     }
 }

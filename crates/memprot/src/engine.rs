@@ -12,7 +12,7 @@
 use crate::SchemeKind;
 use tnpu_sim::cache::CacheStats;
 use tnpu_sim::stats::{EventCounters, TrafficStats};
-use tnpu_sim::{Addr, Cycles};
+use tnpu_sim::{Addr, BlockRun, Cycles};
 
 /// Cost of one protected block access, to be folded into a DMA transfer's
 /// time by the memory model.
@@ -85,6 +85,38 @@ pub trait ProtectionEngine: Send {
 
     /// Cost of writing the 64 B block at `addr` with new `version`.
     fn write_block(&mut self, addr: Addr, version: u64) -> AccessCost;
+
+    /// Cost of reading a run of consecutive 64 B blocks with expected
+    /// `version`, merged into one [`AccessCost`].
+    ///
+    /// The default loops [`read_block`] per block, so schemes without
+    /// grouped metadata (encrypt-only, unsecure) stay trivially correct.
+    /// Engines whose metadata is shared by groups of data blocks override
+    /// this to charge each covered metadata block once per run span —
+    /// observation-equivalent to the loop (same final cache state, traffic,
+    /// events and merged cost) but O(metadata blocks) in host time.
+    ///
+    /// [`read_block`]: ProtectionEngine::read_block
+    fn read_run(&mut self, run: BlockRun, version: u64) -> AccessCost {
+        let mut cost = AccessCost::FREE;
+        for block in run.blocks() {
+            cost.merge(self.read_block(block.base(), version));
+        }
+        cost
+    }
+
+    /// Cost of writing a run of consecutive 64 B blocks with new `version`;
+    /// the batched counterpart of [`write_block`], see [`read_run`].
+    ///
+    /// [`write_block`]: ProtectionEngine::write_block
+    /// [`read_run`]: ProtectionEngine::read_run
+    fn write_run(&mut self, run: BlockRun, version: u64) -> AccessCost {
+        let mut cost = AccessCost::FREE;
+        for block in run.blocks() {
+            cost.merge(self.write_block(block.base(), version));
+        }
+        cost
+    }
 
     /// Cost of the software version-table access accompanying one
     /// `mvin`/`mvout` (tree-less scheme only; free elsewhere).

@@ -81,7 +81,14 @@ impl Layout {
     /// counter cache is indexed with.
     #[must_use]
     pub fn counter_addr(&self, block: BlockAddr) -> Addr {
-        Addr(COUNTER_BASE + self.counter_index(block) * BLOCK_SIZE as u64)
+        self.counter_index_addr(self.counter_index(block))
+    }
+
+    /// Address of the counter block with index `index` (the run-batched
+    /// paths work in metadata indices and map back to addresses here).
+    #[must_use]
+    pub fn counter_index_addr(&self, index: u64) -> Addr {
+        Addr(COUNTER_BASE + index * BLOCK_SIZE as u64)
     }
 
     /// Address of the tree node at `level` (1-based; level 0 is the counter
@@ -94,7 +101,13 @@ impl Layout {
     /// Address of the MAC block holding the MAC for `block`.
     #[must_use]
     pub fn mac_addr(&self, block: BlockAddr) -> Addr {
-        Addr(MAC_BASE + (block.0 / MACS_PER_BLOCK) * BLOCK_SIZE as u64)
+        self.mac_index_addr(block.0 / MACS_PER_BLOCK)
+    }
+
+    /// Address of the MAC block with index `index`.
+    #[must_use]
+    pub fn mac_index_addr(&self, index: u64) -> Addr {
+        Addr(MAC_BASE + index * BLOCK_SIZE as u64)
     }
 
     /// Whether a data block falls inside the covered region.

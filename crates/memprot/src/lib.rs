@@ -33,6 +33,7 @@ pub mod encrypt_only;
 pub mod engine;
 pub mod functional;
 pub mod layout;
+pub mod span;
 pub mod tree;
 pub mod tree_engine;
 pub mod treeless_engine;

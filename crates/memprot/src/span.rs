@@ -1,0 +1,157 @@
+//! Grouped-metadata span math shared by the run-batched engine paths.
+//!
+//! A run of consecutive data blocks covers a short range of metadata
+//! blocks: with `group` data blocks per metadata block
+//! ([`Layout::counters_per_block`] for counters, [`MACS_PER_BLOCK`] for
+//! MACs), the run `[first, first + len)` decomposes into spans, one per
+//! distinct metadata index, each knowing how many data blocks it covers.
+//! The engines charge each span's metadata block once (cache access plus
+//! traffic) and multiply per-data-block effects by `covered` — the batching
+//! that makes run costs O(metadata blocks) instead of O(data blocks).
+//!
+//! [`Layout::counters_per_block`]: crate::layout::Layout
+//! [`MACS_PER_BLOCK`]: crate::layout::MACS_PER_BLOCK
+
+/// One metadata block's share of a data-block run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaSpan {
+    /// Metadata block index (data block index divided by the group size).
+    pub index: u64,
+    /// Number of the run's data blocks covered by this metadata block
+    /// (always >= 1 for yielded spans).
+    pub covered: u64,
+}
+
+/// Decompose the data-block run `[first_block, first_block + len)` into
+/// per-metadata-block spans, in ascending index order.
+///
+/// # Panics
+///
+/// Panics if `group` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use tnpu_memprot::span::{meta_spans, MetaSpan};
+/// let spans: Vec<_> = meta_spans(6, 5, 8).collect();
+/// assert_eq!(
+///     spans,
+///     vec![
+///         MetaSpan { index: 0, covered: 2 }, // blocks 6..8
+///         MetaSpan { index: 1, covered: 3 }, // blocks 8..11
+///     ]
+/// );
+/// ```
+pub fn meta_spans(first_block: u64, len: u64, group: u64) -> impl Iterator<Item = MetaSpan> {
+    assert!(group > 0, "metadata group must be non-zero");
+    // Saturation is exact in practice: data-block indices come from a
+    // `Layout`-clamped region far below u64::MAX.
+    let end = first_block.saturating_add(len);
+    let mut b = first_block;
+    core::iter::from_fn(move || {
+        if b >= end {
+            return None;
+        }
+        let index = b / group;
+        let next = index.saturating_add(1).saturating_mul(group).min(end);
+        let span = MetaSpan {
+            index,
+            covered: next - b,
+        };
+        b = next;
+        Some(span)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(first: u64, len: u64, group: u64) -> Vec<MetaSpan> {
+        meta_spans(first, len, group).collect()
+    }
+
+    #[test]
+    fn run_inside_one_group_yields_one_span() {
+        assert_eq!(
+            collect(65, 3, 64),
+            vec![MetaSpan {
+                index: 1,
+                covered: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn spans_break_at_group_boundaries() {
+        assert_eq!(
+            collect(62, 68, 64),
+            vec![
+                MetaSpan {
+                    index: 0,
+                    covered: 2
+                },
+                MetaSpan {
+                    index: 1,
+                    covered: 64
+                },
+                MetaSpan {
+                    index: 2,
+                    covered: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_length_run_yields_nothing() {
+        assert!(collect(17, 0, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_group_panics() {
+        let _ = meta_spans(0, 1, 0).count();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference semantics: walk every data block, grouping consecutive
+    /// equal metadata indices.
+    fn naive_spans(first: u64, len: u64, group: u64) -> Vec<MetaSpan> {
+        let mut out: Vec<MetaSpan> = Vec::new();
+        for b in first..first + len {
+            let index = b / group;
+            match out.last_mut() {
+                Some(span) if span.index == index => span.covered += 1,
+                _ => out.push(MetaSpan { index, covered: 1 }),
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn spans_match_per_block_grouping(
+            first in 0u64..1000,
+            len in 0u64..300,
+            group in 1u64..70,
+        ) {
+            prop_assert_eq!(
+                collect_spans(first, len, group),
+                naive_spans(first, len, group)
+            );
+            let covered: u64 =
+                meta_spans(first, len, group).map(|s| s.covered).sum();
+            prop_assert_eq!(covered, len);
+        }
+    }
+
+    fn collect_spans(first: u64, len: u64, group: u64) -> Vec<MetaSpan> {
+        meta_spans(first, len, group).collect()
+    }
+}

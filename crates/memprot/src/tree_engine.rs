@@ -25,13 +25,19 @@
 
 use crate::config::ProtectionConfig;
 use crate::engine::{AccessCost, EngineStats, ProtectionEngine};
-use crate::layout::{Layout, COUNTER_BASE, TREE_BASE, TREE_LEVEL_STRIDE};
+use crate::layout::{Layout, COUNTER_BASE, MACS_PER_BLOCK, TREE_BASE, TREE_LEVEL_STRIDE};
+use crate::span::meta_spans;
 use crate::tree::TreeGeometry;
 use crate::SchemeKind;
 use std::collections::BTreeMap;
 use tnpu_sim::cache::{AccessKind, Cache};
 use tnpu_sim::stats::{EventCounters, TrafficStats};
-use tnpu_sim::{Addr, BlockAddr, Cycles, BLOCK_SIZE};
+use tnpu_sim::{Addr, BlockAddr, BlockRun, Cycles, BLOCK_SIZE};
+
+/// Blocks per allocation page of the overflow-tracking table: write runs
+/// look the page up once and bump a flat slice, instead of paying one map
+/// search per data block.
+const OVERFLOW_PAGE: u64 = 1024;
 
 /// Counter-mode + integrity-tree engine (the paper's *Baseline*).
 #[derive(Debug)]
@@ -42,8 +48,10 @@ pub struct TreeBasedEngine {
     counter_cache: Cache,
     hash_cache: Cache,
     mac_cache: Cache,
-    /// Per-data-block write counts for minor-counter overflow modelling.
-    write_counts: BTreeMap<u64, u32>,
+    /// Per-data-block write counts for minor-counter overflow modelling,
+    /// paged by [`OVERFLOW_PAGE`] blocks (sparse: only written pages
+    /// allocate).
+    write_counts: BTreeMap<u64, Box<[u32; OVERFLOW_PAGE as usize]>>,
     traffic: TrafficStats,
     events: EventCounters,
 }
@@ -154,12 +162,11 @@ impl TreeBasedEngine {
     /// significant delay in decrypting the data from the memory", §II-B),
     /// and every tree level that misses in the hash cache adds another
     /// dependent fetch.
-    fn counter_miss(&mut self, block: BlockAddr, cost: &mut AccessCost) {
+    fn counter_miss(&mut self, counter_index: u64, cost: &mut AccessCost) {
         self.traffic.counter += BLOCK_SIZE as u64;
         cost.meta_bytes += BLOCK_SIZE as u64;
         cost.serial_misses += 1;
         self.events.add("tree_walk", 1);
-        let counter_index = self.layout.counter_index(block);
         let path: Vec<(u32, u64)> = self.geometry.walk(counter_index).collect();
         for (level, node) in path {
             let addr = self.layout.tree_node_addr(level, node);
@@ -207,17 +214,128 @@ impl TreeBasedEngine {
     /// whole 4 KB counter-block page to be re-encrypted under the bumped
     /// major counter.
     fn track_minor_overflow(&mut self, block: BlockAddr, cost: &mut AccessCost) {
-        let count = self.write_counts.entry(block.0).or_insert(0);
-        *count += 1;
-        if *count >= self.config.minor_counter_limit {
-            *count = 0;
-            self.events.add("minor_overflow", 1);
-            // Re-encrypt every data block sharing the counter block:
-            // read + write each of them.
-            let page_bytes = self.config.counters_per_block * BLOCK_SIZE as u64 * 2;
-            self.traffic.counter += page_bytes;
-            cost.meta_bytes += page_bytes;
-            cost.independent_misses += self.config.counters_per_block;
+        self.track_overflow_run(
+            BlockRun {
+                first: block,
+                len: 1,
+            },
+            cost,
+        );
+    }
+
+    /// [`Self::track_minor_overflow`] over a whole run: one table-page
+    /// lookup per [`OVERFLOW_PAGE`] covered blocks, then flat slice
+    /// increments. Overflow charges are per-block additive and the counts
+    /// land in the same pages, so this is state-identical to the per-block
+    /// loop in any order.
+    fn track_overflow_run(&mut self, run: BlockRun, cost: &mut AccessCost) {
+        let limit = self.config.minor_counter_limit;
+        let reencrypted = self.config.counters_per_block;
+        for span in meta_spans(run.first.0, run.len, OVERFLOW_PAGE) {
+            let page = self
+                .write_counts
+                .entry(span.index)
+                .or_insert_with(|| Box::new([0u32; OVERFLOW_PAGE as usize]));
+            let offset =
+                (run.first.0.max(span.index * OVERFLOW_PAGE) - span.index * OVERFLOW_PAGE) as usize;
+            let mut overflows = 0u64;
+            for count in &mut page[offset..offset + span.covered as usize] {
+                *count += 1;
+                if *count >= limit {
+                    *count = 0;
+                    overflows += 1;
+                }
+            }
+            if overflows > 0 {
+                self.events.add("minor_overflow", overflows);
+                // Re-encrypt every data block sharing the counter block:
+                // read + write each of them.
+                let page_bytes = reencrypted * BLOCK_SIZE as u64 * 2;
+                self.traffic.counter += page_bytes * overflows;
+                cost.meta_bytes += page_bytes * overflows;
+                cost.independent_misses += reencrypted * overflows;
+            }
+        }
+    }
+
+    /// Bounds-check a whole run, panicking exactly as the per-block path
+    /// would at its first out-of-range block.
+    fn check_run(&self, run: BlockRun) {
+        let blocks = self.layout.data_blocks();
+        if run.last().0 < blocks {
+            return;
+        }
+        let bad = if run.first.0 >= blocks {
+            run.first
+        } else {
+            BlockAddr(blocks)
+        };
+        panic!("access at {} outside protected region", bad.base());
+    }
+
+    /// Run-batched counter path: one counter-cache access per covered
+    /// counter block (plus `covered - 1` bookkeeping hits), with the same
+    /// eviction/miss handling the per-block path performs on the first
+    /// access of each span — later accesses of a span are guaranteed hits,
+    /// so they have no side effects to replicate.
+    fn counter_run(&mut self, run: BlockRun, kind: AccessKind, cost: &mut AccessCost) {
+        for span in meta_spans(run.first.0, run.len, self.layout.counters_per_block) {
+            let outcome = self.counter_cache.access_repeated(
+                self.layout.counter_index_addr(span.index),
+                kind,
+                span.covered,
+            );
+            if let Some(victim) = outcome.writeback() {
+                self.evict_counter(victim, cost);
+            }
+            if outcome.is_miss() {
+                self.counter_miss(span.index, cost);
+            }
+        }
+    }
+
+    /// Run-batched MAC path; effect logic mirrors [`Self::mac_access`]
+    /// (which stays the single-block entry point).
+    fn mac_run(&mut self, run: BlockRun, kind: AccessKind, cost: &mut AccessCost) {
+        let first_index = run.first.0 / MACS_PER_BLOCK;
+        let lines = run.last().0 / MACS_PER_BLOCK - first_index + 1;
+        if lines == run.len {
+            // Every covered MAC line is touched exactly once (gather-style
+            // short runs): one consecutive-line batched sweep.
+            let traffic = &mut self.traffic;
+            self.mac_cache.access_many(
+                self.layout.mac_index_addr(first_index),
+                lines,
+                kind,
+                |outcome| {
+                    if outcome.is_miss() && kind == AccessKind::Read {
+                        traffic.mac += BLOCK_SIZE as u64;
+                        cost.meta_bytes += BLOCK_SIZE as u64;
+                        cost.independent_misses += 1;
+                    }
+                    if outcome.writeback().is_some() {
+                        traffic.mac += BLOCK_SIZE as u64;
+                        cost.meta_bytes += BLOCK_SIZE as u64;
+                    }
+                },
+            );
+            return;
+        }
+        for span in meta_spans(run.first.0, run.len, MACS_PER_BLOCK) {
+            let outcome = self.mac_cache.access_repeated(
+                self.layout.mac_index_addr(span.index),
+                kind,
+                span.covered,
+            );
+            if outcome.is_miss() && kind == AccessKind::Read {
+                self.traffic.mac += BLOCK_SIZE as u64;
+                cost.meta_bytes += BLOCK_SIZE as u64;
+                cost.independent_misses += 1;
+            }
+            if outcome.writeback().is_some() {
+                self.traffic.mac += BLOCK_SIZE as u64;
+                cost.meta_bytes += BLOCK_SIZE as u64;
+            }
         }
     }
 }
@@ -237,9 +355,34 @@ impl ProtectionEngine for TreeBasedEngine {
             self.evict_counter(victim, &mut cost);
         }
         if outcome.is_miss() {
-            self.counter_miss(block, &mut cost);
+            self.counter_miss(self.layout.counter_index(block), &mut cost);
         }
         self.mac_access(block, AccessKind::Read, &mut cost);
+        cost
+    }
+
+    fn read_run(&mut self, run: BlockRun, _version: u64) -> AccessCost {
+        if run.len == 0 {
+            return AccessCost::FREE;
+        }
+        self.check_run(run);
+        let mut cost = AccessCost::FREE;
+        self.counter_run(run, AccessKind::Read, &mut cost);
+        self.mac_run(run, AccessKind::Read, &mut cost);
+        cost
+    }
+
+    fn write_run(&mut self, run: BlockRun, _version: u64) -> AccessCost {
+        if run.len == 0 {
+            return AccessCost::FREE;
+        }
+        self.check_run(run);
+        let mut cost = AccessCost::FREE;
+        self.counter_run(run, AccessKind::Write, &mut cost);
+        // Overflow accounting is per data block but order-independent, so
+        // the batched page-table walk is state-identical.
+        self.track_overflow_run(run, &mut cost);
+        self.mac_run(run, AccessKind::Write, &mut cost);
         cost
     }
 
@@ -255,7 +398,7 @@ impl ProtectionEngine for TreeBasedEngine {
             self.evict_counter(victim, &mut cost);
         }
         if outcome.is_miss() {
-            self.counter_miss(block, &mut cost);
+            self.counter_miss(self.layout.counter_index(block), &mut cost);
         }
         self.track_minor_overflow(block, &mut cost);
         self.mac_access(block, AccessKind::Write, &mut cost);

@@ -14,12 +14,13 @@
 
 use crate::config::ProtectionConfig;
 use crate::engine::{AccessCost, EngineStats, ProtectionEngine};
-use crate::layout::Layout;
+use crate::layout::{Layout, MACS_PER_BLOCK};
+use crate::span::meta_spans;
 use crate::tree_engine::TreeBasedEngine;
 use crate::SchemeKind;
 use tnpu_sim::cache::{AccessKind, Cache};
 use tnpu_sim::stats::{EventCounters, TrafficStats};
-use tnpu_sim::{Addr, BlockAddr, Cycles, BLOCK_SIZE};
+use tnpu_sim::{Addr, BlockAddr, BlockRun, Cycles, BLOCK_SIZE};
 
 /// AES-XTS + versioned-MAC engine (the paper's *TNPU*).
 #[derive(Debug)]
@@ -84,6 +85,69 @@ impl TreelessEngine {
             cost.meta_bytes += BLOCK_SIZE as u64;
         }
     }
+
+    /// Bounds-check a whole run, panicking exactly as the per-block path
+    /// would at its first out-of-range block.
+    fn check_run(&self, run: BlockRun) {
+        let blocks = self.layout.data_blocks();
+        if run.last().0 < blocks {
+            return;
+        }
+        let bad = if run.first.0 >= blocks {
+            run.first
+        } else {
+            BlockAddr(blocks)
+        };
+        panic!("access at {} outside protected region", bad.base());
+    }
+
+    /// Run-batched MAC path: one MAC-cache access per covered MAC block
+    /// (plus `covered - 1` bookkeeping hits); effect logic mirrors
+    /// [`Self::mac_access`], which stays the single-block entry point.
+    /// Later accesses of a span are guaranteed hits, so only the first
+    /// access of each span has side effects to replicate.
+    fn mac_run(&mut self, run: BlockRun, kind: AccessKind, cost: &mut AccessCost) {
+        let first_index = run.first.0 / MACS_PER_BLOCK;
+        let lines = run.last().0 / MACS_PER_BLOCK - first_index + 1;
+        if lines == run.len {
+            // Every covered MAC line is touched exactly once (gather-style
+            // short runs): one consecutive-line batched sweep.
+            let traffic = &mut self.traffic;
+            self.mac_cache.access_many(
+                self.layout.mac_index_addr(first_index),
+                lines,
+                kind,
+                |outcome| {
+                    if outcome.is_miss() && kind == AccessKind::Read {
+                        traffic.mac += BLOCK_SIZE as u64;
+                        cost.meta_bytes += BLOCK_SIZE as u64;
+                        cost.independent_misses += 1;
+                    }
+                    if outcome.writeback().is_some() {
+                        traffic.mac += BLOCK_SIZE as u64;
+                        cost.meta_bytes += BLOCK_SIZE as u64;
+                    }
+                },
+            );
+            return;
+        }
+        for span in meta_spans(run.first.0, run.len, MACS_PER_BLOCK) {
+            let outcome = self.mac_cache.access_repeated(
+                self.layout.mac_index_addr(span.index),
+                kind,
+                span.covered,
+            );
+            if outcome.is_miss() && kind == AccessKind::Read {
+                self.traffic.mac += BLOCK_SIZE as u64;
+                cost.meta_bytes += BLOCK_SIZE as u64;
+                cost.independent_misses += 1;
+            }
+            if outcome.writeback().is_some() {
+                self.traffic.mac += BLOCK_SIZE as u64;
+                cost.meta_bytes += BLOCK_SIZE as u64;
+            }
+        }
+    }
 }
 
 impl ProtectionEngine for TreelessEngine {
@@ -104,6 +168,26 @@ impl ProtectionEngine for TreelessEngine {
         let block = self.clamp_block(addr);
         let mut cost = AccessCost::FREE;
         self.mac_access(block, AccessKind::Write, &mut cost);
+        cost
+    }
+
+    fn read_run(&mut self, run: BlockRun, _version: u64) -> AccessCost {
+        if run.len == 0 {
+            return AccessCost::FREE;
+        }
+        self.check_run(run);
+        let mut cost = AccessCost::FREE;
+        self.mac_run(run, AccessKind::Read, &mut cost);
+        cost
+    }
+
+    fn write_run(&mut self, run: BlockRun, _version: u64) -> AccessCost {
+        if run.len == 0 {
+            return AccessCost::FREE;
+        }
+        self.check_run(run);
+        let mut cost = AccessCost::FREE;
+        self.mac_run(run, AccessKind::Write, &mut cost);
         cost
     }
 

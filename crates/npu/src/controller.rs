@@ -101,12 +101,11 @@ impl MemoryController {
         let mut cost = AccessCost::FREE;
         let mut blocks = 0u64;
         let engine = &mut self.engine;
-        transfer.pattern.for_each_block(|b| {
-            blocks += 1;
-            let addr = b.base();
+        transfer.pattern.for_each_run(|run| {
+            blocks += run.len;
             let c = match transfer.dir {
-                Dir::Read => engine.read_block(addr, transfer.version),
-                Dir::Write => engine.write_block(addr, transfer.version),
+                Dir::Read => engine.read_run(run, transfer.version),
+                Dir::Write => engine.write_run(run, transfer.version),
             };
             cost.merge(c);
         });

@@ -7,7 +7,76 @@
 //! vocabulary-sized projection, an embedding gather) touches a different
 //! counter/MAC block region on every row.
 
-use tnpu_sim::{blocks_covering, Addr, BlockAddr};
+use tnpu_sim::{Addr, BlockAddr, BLOCK_SIZE};
+
+pub use tnpu_sim::BlockRun;
+
+/// Incremental assembler of maximal [`BlockRun`]s from a stream of byte
+/// segments, mirroring the coalescing DMA engine: a segment whose first
+/// block equals the previously visited block drops that duplicate access,
+/// and a segment that starts exactly one block past the current run extends
+/// it instead of opening a new one.
+struct RunBuilder {
+    cur: Option<BlockRun>,
+}
+
+impl RunBuilder {
+    fn new() -> Self {
+        RunBuilder { cur: None }
+    }
+
+    /// Feed one `[start, start + bytes)` segment, emitting any run that can
+    /// no longer grow.
+    fn push(&mut self, start: Addr, bytes: u64, f: &mut impl FnMut(BlockRun)) {
+        if bytes == 0 {
+            return;
+        }
+        let mut first = start.block().0;
+        let last = start
+            .0
+            .checked_add(bytes - 1)
+            .expect("DMA segment end overflows u64")
+            / BLOCK_SIZE as u64;
+        if let Some(cur) = &mut self.cur {
+            // Runs come from real byte addresses, so block indices stay
+            // far below u64::MAX / BLOCK_SIZE; checked ops keep any
+            // violated assumption loud instead of wrapping.
+            let cur_last = cur
+                .first
+                .0
+                .checked_add(cur.len - 1)
+                .expect("run end overflows u64");
+            if first == cur_last {
+                // Coalesce: the engine stays on the block it just touched.
+                first = cur_last.checked_add(1).expect("run end overflows u64");
+            }
+            if first > last {
+                return; // segment fully coalesced into the previous access
+            }
+            if first == cur_last.checked_add(1).expect("run end overflows u64") {
+                cur.len = cur
+                    .len
+                    .checked_add(last - first)
+                    .and_then(|l| l.checked_add(1))
+                    .expect("run length overflows u64");
+                return;
+            }
+            f(*cur);
+        }
+        self.cur = Some(BlockRun {
+            first: BlockAddr(first),
+            len: (last - first)
+                .checked_add(1)
+                .expect("run length overflows u64"),
+        });
+    }
+
+    fn finish(self, f: &mut impl FnMut(BlockRun)) {
+        if let Some(cur) = self.cur {
+            f(cur);
+        }
+    }
+}
 
 /// Address pattern of one DMA transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,24 +129,18 @@ impl DmaPattern {
         }
     }
 
-    /// The distinct 64 B blocks this transfer touches, in access order.
-    /// Segments that share a block (contiguous rows) still produce one
-    /// access per segment-block pair only when the block changes, mirroring
-    /// a DMA engine that coalesces sequential block accesses.
-    pub fn for_each_block(&self, mut f: impl FnMut(BlockAddr)) {
-        let mut last: Option<BlockAddr> = None;
-        let mut visit = |b: BlockAddr, f: &mut dyn FnMut(BlockAddr)| {
-            if last != Some(b) {
-                f(b);
-                last = Some(b);
-            }
-        };
+    /// The maximal runs of consecutive 64 B blocks this transfer touches,
+    /// in access order. Adjacent segments that tile contiguously merge into
+    /// one run; a segment that re-enters the block the engine just touched
+    /// drops that duplicate access (the same coalescing
+    /// [`for_each_block`] models, expressed as runs). Emitted runs are
+    /// never empty.
+    ///
+    /// [`for_each_block`]: DmaPattern::for_each_block
+    pub fn for_each_run(&self, mut f: impl FnMut(BlockRun)) {
+        let mut b = RunBuilder::new();
         match self {
-            DmaPattern::Contiguous { base, bytes } => {
-                for b in blocks_covering(*base, *bytes) {
-                    visit(b, &mut f);
-                }
-            }
+            DmaPattern::Contiguous { base, bytes } => b.push(*base, *bytes, &mut f),
             DmaPattern::Strided {
                 base,
                 rows,
@@ -89,28 +152,144 @@ impl DmaPattern {
                         r.checked_mul(*stride)
                             .expect("strided DMA row offset overflows u64"),
                     );
-                    for b in blocks_covering(start, *row_bytes) {
-                        visit(b, &mut f);
-                    }
+                    b.push(start, *row_bytes, &mut f);
                 }
             }
             DmaPattern::Scattered { rows, row_bytes } => {
                 for start in rows {
-                    for b in blocks_covering(*start, *row_bytes) {
-                        visit(b, &mut f);
-                    }
+                    b.push(*start, *row_bytes, &mut f);
                 }
             }
         }
+        b.finish(&mut f);
+    }
+
+    /// The distinct 64 B blocks this transfer touches, in access order.
+    /// Segments that share a block (contiguous rows) still produce one
+    /// access per segment-block pair only when the block changes, mirroring
+    /// a DMA engine that coalesces sequential block accesses.
+    pub fn for_each_block(&self, mut f: impl FnMut(BlockAddr)) {
+        self.for_each_run(|run| {
+            for block in run.blocks() {
+                f(block);
+            }
+        });
     }
 
     /// Count of block accesses this transfer performs.
+    ///
+    /// Closed-form for `Contiguous` and `Strided` (no block enumeration);
+    /// `Scattered` is summed per segment through [`for_each_run`], which is
+    /// O(segments) rather than O(blocks).
+    ///
+    /// [`for_each_run`]: DmaPattern::for_each_run
     #[must_use]
     pub fn block_count(&self) -> u64 {
-        let mut n: u64 = 0;
-        self.for_each_block(|_| n = n.saturating_add(1));
-        n
+        match self {
+            DmaPattern::Contiguous { base, bytes } => tnpu_sim::block_count(*base, *bytes),
+            DmaPattern::Strided {
+                base,
+                rows,
+                row_bytes,
+                stride,
+            } => strided_block_count(*base, *rows, *row_bytes, *stride),
+            DmaPattern::Scattered { .. } => {
+                let mut n: u64 = 0;
+                self.for_each_run(|run| n = n.saturating_add(run.len));
+                n
+            }
+        }
     }
+}
+
+/// Closed-form block-access count for a strided pattern, matching the
+/// coalescing semantics of [`DmaPattern::for_each_run`] without enumerating
+/// a single block.
+///
+/// Row `r` starts at in-block byte offset `m_r = (base + r*stride) % 64`
+/// and touches `blk(m_r) = (m_r + row_bytes - 1)/64 + 1` blocks; its first
+/// access is dropped when it lands on the block the previous row ended in,
+/// i.e. when `(m + stride)/64 == (m + row_bytes - 1)/64` for the previous
+/// row's offset `m` (the whole-number block parts cancel, so only the
+/// offsets matter). `m_r` is periodic in `r` with period
+/// `64 / gcd(stride % 64, 64) <= 64`, so both sums reduce to full-period
+/// totals plus a remainder prefix — O(period), not O(rows * row_bytes).
+fn strided_block_count(base: Addr, rows: u64, row_bytes: u64, stride: u64) -> u64 {
+    if rows == 0 || row_bytes == 0 {
+        return 0;
+    }
+    // Mirror the enumeration path's overflow behaviour: a descriptor whose
+    // last row offset or segment end overflows the address space panics
+    // loudly instead of returning a silently-wrapped count.
+    let last_start = rows
+        .checked_sub(1)
+        .and_then(|r| r.checked_mul(stride))
+        .and_then(|off| base.0.checked_add(off))
+        .expect("strided DMA row offset overflows u64");
+    let _ = last_start
+        .checked_add(row_bytes - 1)
+        .expect("DMA segment end overflows u64");
+
+    let bsz = BLOCK_SIZE as u64;
+    // Blocks covered by a row starting at in-block offset `m`. The adds are
+    // guarded by the segment-end check above (`m <= base + r*stride`).
+    let blk = |m: u64| {
+        (m.checked_add(row_bytes - 1)
+            .expect("row span overflows u64")
+            / bsz)
+            .checked_add(1)
+            .expect("row block count overflows u64")
+    };
+    // Whether the *next* row's first access coalesces away, given this
+    // row's offset `m`. Saturation is safe: a saturated `m + stride` is far
+    // past any row's last block, so the comparison stays false.
+    let dup = |m: u64| {
+        let row_last = m
+            .checked_add(row_bytes - 1)
+            .expect("row span overflows u64")
+            / bsz;
+        let next_first = m.saturating_add(stride) / bsz;
+        u64::from(row_last == next_first)
+    };
+
+    let s = stride % bsz;
+    let period = bsz / gcd64(s, bsz);
+    let period_us = usize::try_from(period).expect("period fits usize");
+    // Prefix sums of blk/dup over one period of in-block offsets:
+    // pre[i] = sum over the first i offsets.
+    let mut blk_pre = vec![0u64];
+    let mut dup_pre = vec![0u64];
+    let mut blk_sum = 0u64;
+    let mut dup_sum = 0u64;
+    let mut m = base.0 % bsz;
+    for _ in 0..period_us {
+        blk_sum = blk_sum.saturating_add(blk(m));
+        dup_sum = dup_sum.saturating_add(dup(m));
+        blk_pre.push(blk_sum);
+        dup_pre.push(dup_sum);
+        m = m.checked_add(s).expect("in-block offset overflows u64") % bsz;
+    }
+    // Sum of g(m_r) over the first n rows, via full periods + remainder.
+    let period_sum = |pre: &[u64], n: u64| {
+        let rem = usize::try_from(n % period).expect("remainder fits usize");
+        (n / period)
+            .saturating_mul(pre[period_us])
+            .saturating_add(pre[rem])
+    };
+    let total_blk = period_sum(&blk_pre, rows);
+    // dup_r describes row r+1 coalescing into row r, so the last row
+    // contributes no dup term.
+    let total_dup = period_sum(&dup_pre, rows - 1);
+    total_blk.saturating_sub(total_dup)
+}
+
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 /// Transfer direction.
@@ -263,7 +442,81 @@ mod proptests {
         v
     }
 
+    /// Any of the three pattern variants, paired with its per-segment
+    /// reference description for `naive_blocks`.
+    fn arb_pattern() -> impl Strategy<Value = (DmaPattern, Vec<(u64, u64)>)> {
+        prop_oneof![
+            (0u64..512, 0u64..600).prop_map(|(base, bytes)| (
+                DmaPattern::Contiguous {
+                    base: Addr(base),
+                    bytes
+                },
+                vec![(base, bytes)],
+            )),
+            (0u64..512, 0u64..6, 0u64..200, 0u64..512).prop_map(
+                |(base, rows, row_bytes, stride)| (
+                    DmaPattern::Strided {
+                        base: Addr(base),
+                        rows,
+                        row_bytes,
+                        stride,
+                    },
+                    (0..rows).map(|r| (base + r * stride, row_bytes)).collect(),
+                )
+            ),
+            (prop::collection::vec(0u64..2048, 0..6), 0u64..200).prop_map(|(starts, row_bytes)| (
+                DmaPattern::Scattered {
+                    rows: starts.iter().copied().map(Addr).collect(),
+                    row_bytes,
+                },
+                starts.iter().map(|&s| (s, row_bytes)).collect(),
+            )),
+        ]
+    }
+
     proptest! {
+        #[test]
+        fn runs_concatenate_to_the_block_stream(
+            (p, reference) in arb_pattern(),
+        ) {
+            let mut runs = Vec::new();
+            p.for_each_run(|r| runs.push(r));
+            // Emitted runs are never empty, and maximal: consecutive runs
+            // never abut in ascending order (that would have merged).
+            for w in runs.windows(2) {
+                prop_assert_ne!(w[1].first.0, w[0].last().0 + 1);
+            }
+            let from_runs: Vec<BlockAddr> =
+                runs.iter().flat_map(|r| r.blocks()).collect();
+            prop_assert!(runs.iter().all(|r| r.len >= 1));
+            prop_assert_eq!(from_runs, naive_blocks(&reference));
+        }
+
+        #[test]
+        fn block_count_matches_enumeration((p, _) in arb_pattern()) {
+            let mut n = 0u64;
+            p.for_each_block(|_| n += 1);
+            prop_assert_eq!(p.block_count(), n);
+        }
+
+        #[test]
+        fn strided_count_matches_enumeration_over_many_periods(
+            base in 0u64..512,
+            rows in 0u64..200,
+            row_bytes in 0u64..200,
+            stride in 0u64..512,
+        ) {
+            let p = DmaPattern::Strided {
+                base: Addr(base),
+                rows,
+                row_bytes,
+                stride,
+            };
+            let mut n = 0u64;
+            p.for_each_block(|_| n += 1);
+            prop_assert_eq!(p.block_count(), n);
+        }
+
         #[test]
         fn strided_matches_per_byte_enumeration(
             base in 0u64..512,

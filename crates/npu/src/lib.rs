@@ -28,6 +28,8 @@
 //!   transfers from all NPUs and drives the
 //!   [`tnpu_memprot::ProtectionEngine`] per 64 B block.
 //! * [`machine`] — one NPU's double-buffered execution state machine.
+//! * [`trace`] — scheme-independent tile traces, lowered once per
+//!   (models, NPU config, seed) and replayed against many engines.
 //! * [`multi`] — N NPUs sharing the controller and security engine
 //!   (the paper's scalability study, §V-C).
 //! * [`report`] — run reports (cycles, traffic, engine statistics).
@@ -41,9 +43,11 @@ pub mod multi;
 pub mod report;
 pub mod systolic;
 pub mod tiler;
+pub mod trace;
 
 pub use config::NpuConfig;
 pub use report::RunReport;
+pub use trace::TileTrace;
 
 use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
 use tnpu_models::Model;

@@ -8,16 +8,11 @@
 //! arrival time, so metadata-cache interference between NPUs emerges from
 //! genuinely interleaved block streams.
 
-use crate::alloc::ModelLayout;
 use crate::config::NpuConfig;
-use crate::controller::MemoryController;
-use crate::machine::NpuMachine;
 use crate::report::RunReport;
-use crate::tiler;
+use crate::trace::TileTrace;
 use tnpu_memprot::ProtectionEngine;
 use tnpu_models::Model;
-use tnpu_sim::rng::SplitMix64;
-use tnpu_sim::Addr;
 
 /// Address-space stride between NPU contexts (512 MB each).
 pub const NPU_REGION_STRIDE: u64 = 512 << 20;
@@ -97,43 +92,19 @@ pub fn run_shared_mixed_seeded(
     engine: Box<dyn ProtectionEngine>,
     base_seed: u64,
 ) -> Vec<RunReport> {
-    assert!(!models.is_empty(), "need at least one NPU");
-    let mut machines: Vec<NpuMachine> = models
-        .iter()
-        .enumerate()
-        .map(|(i, model)| {
-            let base = Addr(i as u64 * NPU_REGION_STRIDE);
-            let layout = ModelLayout::allocate(model, base);
-            assert!(
-                layout.total_bytes <= NPU_REGION_STRIDE,
-                "model does not fit the per-NPU region"
-            );
-            // Different streams: each NPU serves different requests
-            // (distinct embedding gathers), like independent inference
-            // streams — split per NPU index, never per worker thread.
-            let seed = SplitMix64::stream(base_seed, i as u64).next_u64();
-            NpuMachine::new(tiler::plan(model, npu, &layout, seed))
-        })
-        .collect();
-    let mut ctl = MemoryController::new(engine, npu);
-    loop {
-        let next = machines
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| m.next_arrival().map(|a| (a, i)))
-            .min();
-        match next {
-            Some((_, i)) => machines[i].serve_next(&mut ctl),
-            None => break,
-        }
-    }
-    machines.into_iter().map(|m| m.into_report(&ctl)).collect()
+    // Lower once, replay once: the trace abstraction is shared with the
+    // experiment sweeps, which build a trace per cell group and replay it
+    // against every scheme (see `crate::trace`).
+    TileTrace::build(models, npu, base_seed).replay(engine, npu, models.len())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alloc::ModelLayout;
+    use crate::report::RunReport;
     use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
+    use tnpu_sim::Addr;
 
     fn run(name: &str, scheme: SchemeKind, count: usize) -> Vec<RunReport> {
         let model = tnpu_models::registry::model(name).expect("registered");

@@ -1,0 +1,199 @@
+//! Scheme-independent tile traces: lower once, replay against many engines.
+//!
+//! Lowering a model (allocate → tile → lower to `mvin`/`compute`/`mvout`
+//! jobs) is a pure function of the model, the NPU configuration, the NPU's
+//! region base address and the per-NPU workload seed — the protection
+//! scheme never feeds into it. Yet the experiment sweeps re-ran the whole
+//! tiler for every (scheme × cell), the matrix dimension that dominates
+//! cell count. A [`TileTrace`] captures the lowered per-NPU plans once and
+//! [`replay`]s them against any engine; only the (cheap) earliest-arrival
+//! scheduling loop re-runs, because the *interleaving* of transfers does
+//! depend on the scheme's timing.
+//!
+//! Replays are sound across two more dimensions:
+//!
+//! * **NPU count** — NPU `i`'s plan depends only on its own index (region
+//!   base `i * NPU_REGION_STRIDE`, seed stream `i`), never on how many
+//!   NPUs run beside it, so a trace built for N NPUs replays any
+//!   `count <= N` as a prefix.
+//! * **Protection parameters** — cache sizes, tree arity and counter
+//!   granularity only affect the engine, so ablation variants share one
+//!   trace too.
+//!
+//! [`replay`]: TileTrace::replay
+
+use crate::alloc::ModelLayout;
+use crate::config::NpuConfig;
+use crate::controller::MemoryController;
+use crate::machine::NpuMachine;
+use crate::multi::NPU_REGION_STRIDE;
+use crate::report::RunReport;
+use crate::tiler::{self, ModelPlan};
+use tnpu_memprot::ProtectionEngine;
+use tnpu_models::Model;
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::Addr;
+
+/// The scheme-independent part of a multi-NPU simulation: one lowered
+/// [`ModelPlan`] per NPU, in NPU-index order.
+#[derive(Debug, Clone)]
+pub struct TileTrace {
+    plans: Vec<ModelPlan>,
+}
+
+impl TileTrace {
+    /// Lower one NPU per entry of `models` (heterogeneous tenancy), with
+    /// per-NPU seeds split from `base_seed` by NPU index — bit-identical
+    /// to what [`crate::multi::run_shared_mixed_seeded`] lowers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or a model's tensors exceed the per-NPU
+    /// region.
+    #[must_use]
+    pub fn build(models: &[&Model], npu: &NpuConfig, base_seed: u64) -> Self {
+        assert!(!models.is_empty(), "need at least one NPU");
+        let plans = models
+            .iter()
+            .enumerate()
+            .map(|(i, model)| {
+                let base = Addr(i as u64 * NPU_REGION_STRIDE);
+                let layout = ModelLayout::allocate(model, base);
+                assert!(
+                    layout.total_bytes <= NPU_REGION_STRIDE,
+                    "model does not fit the per-NPU region"
+                );
+                // Different streams: each NPU serves different requests
+                // (distinct embedding gathers), like independent inference
+                // streams — split per NPU index, never per worker thread.
+                let seed = SplitMix64::stream(base_seed, i as u64).next_u64();
+                tiler::plan(model, npu, &layout, seed)
+            })
+            .collect();
+        TileTrace { plans }
+    }
+
+    /// [`build`] for `count` NPUs all inferring the same `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or the model's tensors exceed the per-NPU
+    /// region.
+    ///
+    /// [`build`]: TileTrace::build
+    #[must_use]
+    pub fn build_replicated(model: &Model, npu: &NpuConfig, count: usize, base_seed: u64) -> Self {
+        assert!(count > 0, "need at least one NPU");
+        let models: Vec<&Model> = std::iter::repeat_n(model, count).collect();
+        Self::build(&models, npu, base_seed)
+    }
+
+    /// Number of NPUs the trace covers (the maximum replayable `count`).
+    #[must_use]
+    pub fn npus(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Replay the first `count` NPUs' plans against `engine`: the shared
+    /// memory controller serves, at every step, the machine whose next
+    /// transfer has the earliest arrival time, exactly as the build path
+    /// does. Returns one report per NPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds [`npus`].
+    ///
+    /// [`npus`]: TileTrace::npus
+    #[must_use]
+    pub fn replay(
+        &self,
+        engine: Box<dyn ProtectionEngine>,
+        npu: &NpuConfig,
+        count: usize,
+    ) -> Vec<RunReport> {
+        assert!(count > 0, "need at least one NPU");
+        assert!(
+            count <= self.plans.len(),
+            "trace covers {} NPUs, asked for {count}",
+            self.plans.len()
+        );
+        let mut machines: Vec<NpuMachine> = self.plans[..count]
+            .iter()
+            .map(|plan| NpuMachine::new(plan.clone()))
+            .collect();
+        let mut ctl = MemoryController::new(engine, npu);
+        loop {
+            let next = machines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.next_arrival().map(|a| (a, i)))
+                .min();
+            match next {
+                Some((_, i)) => machines[i].serve_next(&mut ctl),
+                None => break,
+            }
+        }
+        machines.into_iter().map(|m| m.into_report(&ctl)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi;
+    use tnpu_memprot::{build_engine, ProtectionConfig, SchemeKind};
+
+    fn model(name: &str) -> Model {
+        tnpu_models::registry::model(name).expect("registered")
+    }
+
+    fn engine(scheme: SchemeKind) -> Box<dyn ProtectionEngine> {
+        build_engine(scheme, &ProtectionConfig::paper_default())
+    }
+
+    #[test]
+    fn replay_matches_direct_run_for_every_scheme() {
+        let m = model("df");
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_replicated(&m, &npu, 2, 0xBEEF);
+        for scheme in SchemeKind::ALL {
+            let replayed = trace.replay(engine(scheme), &npu, 2);
+            let direct = multi::run_shared_seeded(&m, &npu, engine(scheme), 2, 0xBEEF);
+            assert_eq!(replayed, direct, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn prefix_replay_matches_smaller_direct_run() {
+        // A trace built for 3 NPUs replays 1- and 2-NPU runs exactly:
+        // plans depend on the NPU's own index, never on the count.
+        let m = model("df");
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_replicated(&m, &npu, 3, 0xBEEF);
+        for count in 1..=3usize {
+            let replayed = trace.replay(engine(SchemeKind::Treeless), &npu, count);
+            let direct =
+                multi::run_shared_seeded(&m, &npu, engine(SchemeKind::Treeless), count, 0xBEEF);
+            assert_eq!(replayed, direct, "count {count}");
+        }
+    }
+
+    #[test]
+    fn replay_does_not_consume_the_trace() {
+        let m = model("df");
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_replicated(&m, &npu, 1, 7);
+        let a = trace.replay(engine(SchemeKind::Unsecure), &npu, 1);
+        let b = trace.replay(engine(SchemeKind::Unsecure), &npu, 1);
+        assert_eq!(a, b, "replay is repeatable from one trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace covers 1 NPUs")]
+    fn oversized_replay_panics() {
+        let m = model("df");
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_replicated(&m, &npu, 1, 7);
+        let _ = trace.replay(engine(SchemeKind::Unsecure), &npu, 2);
+    }
+}

@@ -288,6 +288,67 @@ impl Cache {
         CacheOutcome::Miss { writeback }
     }
 
+    /// Access the line containing `addr` `repeats` times back to back.
+    ///
+    /// State-equivalent to calling [`access`] `repeats` times in a row with
+    /// no interleaved accesses: only the first access can miss or evict (the
+    /// line is resident afterwards), so the remaining `repeats - 1` are hits
+    /// that advance the LRU tick and the hit counter. The final LRU stamp of
+    /// the line equals the tick after the last repeat — exactly what the
+    /// sequential loop would leave behind. This is the run-batched engines'
+    /// workhorse: a run of data blocks sharing one metadata block becomes a
+    /// single tag lookup instead of one per data block.
+    ///
+    /// Returns the outcome of the *first* access (the only one that can
+    /// move data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    ///
+    /// [`access`]: Cache::access
+    pub fn access_repeated(&mut self, addr: Addr, kind: AccessKind, repeats: u64) -> CacheOutcome {
+        assert!(repeats > 0, "access_repeated wants at least one access");
+        let outcome = self.access(addr, kind);
+        let extra = repeats - 1;
+        if extra > 0 {
+            self.tick += extra;
+            self.stats.hits += extra;
+            let tick = self.tick;
+            let (set_idx, tag) = self.index(addr);
+            let line = self.sets[set_idx]
+                .iter_mut()
+                .find(|l| l.tag == tag)
+                .expect("line was just accessed");
+            line.lru = tick;
+        }
+        outcome
+    }
+
+    /// Access `n_lines` consecutive lines starting at the line containing
+    /// `base`, once each, reporting each line's outcome to `f` in order.
+    ///
+    /// State-equivalent to `n_lines` sequential [`access`] calls at
+    /// `base`, `base + line_size`, ... — same hits, misses and write-backs
+    /// in the same order. Used by the run-batched engine paths when a run
+    /// touches each covered metadata line exactly once (fine-grained
+    /// gathers).
+    ///
+    /// [`access`]: Cache::access
+    pub fn access_many(
+        &mut self,
+        base: Addr,
+        n_lines: u64,
+        kind: AccessKind,
+        mut f: impl FnMut(CacheOutcome),
+    ) {
+        let line_size = self.config.line_size as u64;
+        let start = base.0 / line_size * line_size;
+        for i in 0..n_lines {
+            f(self.access(Addr(start + i * line_size), kind));
+        }
+    }
+
     /// Whether the line containing `addr` is currently resident (no state
     /// change, no statistics update).
     #[must_use]
@@ -446,6 +507,76 @@ mod tests {
         invalidated.sort_unstable();
         assert_eq!(flushed, invalidated);
         assert_eq!(a.stats().writebacks, b.stats().writebacks);
+    }
+
+    #[test]
+    fn access_repeated_is_state_equivalent_to_sequential_accesses() {
+        // Exercise hit-first, miss-first, and dirty-eviction-first starts,
+        // with interleaved single accesses before/after, and require the
+        // *entire* cache state (tags, dirty bits, exact LRU stamps, tick,
+        // stats) to match the sequential reference.
+        for warmup in [&[][..], &[Addr(0)][..], &[Addr(0), Addr(128)][..]] {
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                for repeats in [1u64, 2, 7] {
+                    let mut batched = small();
+                    let mut reference = small();
+                    for &w in warmup {
+                        batched.access(w, AccessKind::Write);
+                        reference.access(w, AccessKind::Write);
+                    }
+                    let got = batched.access_repeated(Addr(256), kind, repeats);
+                    let want = reference.access(Addr(256), kind);
+                    for _ in 1..repeats {
+                        assert!(reference.access(Addr(256), kind).is_hit());
+                    }
+                    assert_eq!(got, want, "first outcome (repeats={repeats})");
+                    // Follow-up accesses must behave identically too.
+                    assert_eq!(
+                        batched.access(Addr(384), AccessKind::Read),
+                        reference.access(Addr(384), AccessKind::Read)
+                    );
+                    assert_eq!(
+                        format!("{batched:?}"),
+                        format!("{reference:?}"),
+                        "kind={kind:?} repeats={repeats} warmup={warmup:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn access_repeated_rejects_zero() {
+        let _ = small().access_repeated(Addr(0), AccessKind::Read, 0);
+    }
+
+    #[test]
+    fn access_many_is_state_equivalent_to_sequential_accesses() {
+        // Same hits/misses/writebacks in the same order, and identical final
+        // cache state, versus n separate access() calls.
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let mut batched = small();
+            let mut reference = small();
+            for cache in [&mut batched, &mut reference] {
+                cache.access(Addr(0), AccessKind::Write);
+                cache.access(Addr(128), AccessKind::Write);
+            }
+            let mut got = Vec::new();
+            batched.access_many(Addr(70), 5, kind, |o| got.push(o));
+            let want: Vec<CacheOutcome> = (0..5)
+                .map(|i| reference.access(Addr(64 + i * 64), kind))
+                .collect();
+            assert_eq!(got, want, "kind={kind:?}");
+            assert_eq!(format!("{batched:?}"), format!("{reference:?}"));
+        }
+    }
+
+    #[test]
+    fn access_many_of_zero_lines_is_a_noop() {
+        let mut c = small();
+        c.access_many(Addr(0), 0, AccessKind::Read, |_| panic!("no outcomes"));
+        assert_eq!(c.stats().accesses(), 0);
     }
 
     #[test]

@@ -114,6 +114,39 @@ impl std::fmt::Display for BlockAddr {
     }
 }
 
+/// A run of consecutive 64-byte blocks: `len` blocks starting at `first`.
+///
+/// Runs are the batched currency between the DMA layer and the protection
+/// engines: a `DmaPattern` decomposes into maximal runs, and an engine
+/// charges each run's metadata once per covered metadata block instead of
+/// once per data block. A run is never empty (`len >= 1`) when produced by
+/// `DmaPattern::for_each_run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRun {
+    /// First block of the run.
+    pub first: BlockAddr,
+    /// Number of consecutive blocks (>= 1 for emitted runs).
+    pub len: u64,
+}
+
+impl BlockRun {
+    /// The last block of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is empty.
+    #[must_use]
+    pub fn last(self) -> BlockAddr {
+        assert!(self.len > 0, "empty run has no last block");
+        BlockAddr(self.first.0 + (self.len - 1))
+    }
+
+    /// Iterate the run's blocks in ascending order.
+    pub fn blocks(self) -> impl Iterator<Item = BlockAddr> {
+        (0..self.len).map(move |i| self.first.offset(i))
+    }
+}
+
 /// Iterate over the block addresses covering `[start, start + len)`.
 ///
 /// # Examples
@@ -186,6 +219,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn block_run_accessors() {
+        let r = BlockRun {
+            first: BlockAddr(10),
+            len: 3,
+        };
+        assert_eq!(r.last(), BlockAddr(12));
+        let blocks: Vec<_> = r.blocks().collect();
+        assert_eq!(blocks, vec![BlockAddr(10), BlockAddr(11), BlockAddr(12)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_run_has_no_last() {
+        let _ = BlockRun {
+            first: BlockAddr(0),
+            len: 0,
+        }
+        .last();
     }
 
     #[test]

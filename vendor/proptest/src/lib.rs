@@ -202,6 +202,37 @@ pub mod strategy {
         }
     }
 
+    /// Uniform choice between same-valued strategies; produced by
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the already-erased options; mirrors `Union::new`.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs an option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Erase a strategy's concrete type for [`Union`] storage.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn __erase<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
     /// Whole-domain strategy returned by [`crate::prelude::any`].
     #[derive(Debug, Clone, Copy)]
     pub struct Any<T> {
@@ -302,10 +333,10 @@ pub mod prelude {
 
     pub use crate::collection;
     pub use crate::prop;
-    pub use crate::strategy::{Any, Arbitrary, Just, Strategy};
+    pub use crate::strategy::{Any, Arbitrary, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestRng;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The canonical whole-domain strategy for `T`; mirrors
     /// `proptest::prelude::any`.
@@ -313,6 +344,15 @@ pub mod prelude {
     pub fn any<T: Arbitrary>() -> Any<T> {
         Any::default()
     }
+}
+
+/// Uniform choice between strategies yielding the same value type;
+/// mirrors `proptest::prop_oneof!` (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::__erase($strategy)),+])
+    };
 }
 
 /// Property assertion; panics (no shrinking in the stub).
