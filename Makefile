@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint attacks check bench
+.PHONY: build test fmt clippy lint attacks faults check bench
 
 build:
 	cargo build --release --workspace --locked
@@ -24,6 +24,12 @@ lint:
 attacks:
 	cargo run -p tnpu-bench --release --locked --bin attacks -- --deny-undetected
 
+# Environmental-fault resilience matrix (transient/persistent bit errors,
+# DMA drops/stalls, crypto soft errors) with the recovery layer enabled;
+# --deny-corrupted fails if any protected scheme computed on faulty data.
+faults:
+	cargo run -p tnpu-bench --release --locked --bin faults -- --deny-corrupted
+
 # Perf-trajectory harness: run the full experiment matrix and append one
 # timing record (per-pool and total wall seconds, thread count, cell
 # count) to BENCH_sweep.json. stdout still carries the byte-stable
@@ -33,4 +39,4 @@ bench:
 	./target/release/experiments --bench-json BENCH_sweep.json all > /tmp/tnpu_bench_out.txt
 	diff -q results_full.txt /tmp/tnpu_bench_out.txt
 
-check: build test fmt clippy lint attacks
+check: build test fmt clippy lint attacks faults

@@ -19,6 +19,7 @@
 pub mod ablations;
 pub mod attacks;
 pub mod experiments;
+pub mod faults;
 pub mod sweep;
 pub mod tables;
 pub mod traced;

@@ -1,0 +1,72 @@
+//! Frozen-output guard: with fault injection disabled, the refactors that
+//! carried the recovery layer in (the `MacMismatch` cause discriminant,
+//! the runner's retry/sweep plumbing) must not move a single byte of the
+//! outputs the repo has already published.
+//!
+//! Two renders are pinned against goldens under `tests/golden/`:
+//!
+//! * the full df+ncf adversarial attack matrix (56 cells), and
+//! * the reduced experiment sweep the determinism test drives (the same
+//!   tables `results_full.txt` is built from, at df/ncf scale).
+//!
+//! To re-bless after an *intentional* output change:
+//!
+//! ```text
+//! TNPU_BLESS=1 cargo test -p tnpu-bench --release --test frozen_outputs
+//! ```
+
+use std::path::PathBuf;
+
+use tnpu_bench::{attacks, experiments, tables};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed golden, or rewrite the golden
+/// when `TNPU_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("TNPU_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with TNPU_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden; if the change is intentional, \
+         re-bless with TNPU_BLESS=1\n--- golden ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn attack_matrix_render_is_frozen() {
+    let (cells, _) = attacks::matrix_with_threads(4, &attacks::DEFAULT_MODELS);
+    assert_eq!(cells.len(), 56, "df+ncf matrix is 56 cells");
+    check_golden("attacks_df_ncf.txt", &attacks::render(&cells));
+}
+
+#[test]
+fn reduced_sweep_render_is_frozen() {
+    // The same reduced matrix the determinism test runs: every
+    // sweep-backed table at df/ncf scale.
+    const MODELS: [&str; 2] = ["df", "ncf"];
+    const COUNTS: [usize; 2] = [1, 2];
+    let (swept, _) = experiments::sweep_with_threads(4, &MODELS, &COUNTS);
+    let (e2e, _) = experiments::fig17_sweep_with_threads(4, &MODELS);
+    let mut out = String::new();
+    out += &tables::fig14(&swept, &MODELS);
+    out += &tables::fig5(&swept, &MODELS);
+    out += &tables::fig15(&swept, &MODELS);
+    out += &tables::fig16(&swept, &MODELS, &COUNTS);
+    out += &tables::csv(&swept, &MODELS);
+    out += &tables::fig17_from(&e2e, &MODELS);
+    check_golden("sweep_df_ncf.txt", &out);
+}

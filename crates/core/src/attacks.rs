@@ -28,7 +28,7 @@ use crate::secure_runner::{RunError, SecureRunner};
 use crate::Scheme;
 use tnpu_crypto::Key128;
 use tnpu_memprot::adversary::{adversary, AttackKind, AttackPoint};
-use tnpu_memprot::functional::{build_functional, UnsecureMemory};
+use tnpu_memprot::functional::{build_functional, IntegrityError, MismatchCause, UnsecureMemory};
 use tnpu_models::{LayerKind, Model, TensorSource};
 use tnpu_npu::alloc::{ModelLayout, TensorInfo};
 use tnpu_sim::rng::SplitMix64;
@@ -79,6 +79,11 @@ pub struct CellResult {
     pub outcome: Outcome,
     /// What the paper's claims predict.
     pub expected: Outcome,
+    /// When detection came from a per-block MAC mismatch, which of the
+    /// MAC's bindings the scheme diagnosed as inconsistent (content,
+    /// address, or version). `None` for undetected cells and for
+    /// detections that fired elsewhere (the counter tree).
+    pub cause: Option<MismatchCause>,
 }
 
 impl CellResult {
@@ -100,6 +105,37 @@ pub fn expected_outcome(scheme: Scheme, attack: AttackKind) -> Outcome {
         Scheme::EncryptOnly | Scheme::Unsecure => match attack {
             AttackKind::MacSubstitution => Outcome::NotApplicable,
             _ => Outcome::Corrupted,
+        },
+    }
+}
+
+/// Which MAC binding each detected cell is expected to report broken.
+///
+/// * The tree-less scheme diagnoses every detection at the MAC: replayed
+///   state verifies under a *nearby version* (the replay window the
+///   versions close), spliced ciphertext verifies at its *donor address*,
+///   and everything else — flips, rolled-back metadata, substituted MACs,
+///   foreign-context blocks — is indistinguishable from corrupted
+///   *content*.
+/// * The tree-based scheme catches replay, rollback, and foreign splices
+///   in the counter tree before the MAC is ever consulted (`None`); only
+///   data-side tampers reach MAC diagnosis.
+/// * Unprotected and encryption-only memory have no MACs: always `None`.
+#[must_use]
+pub fn expected_cause(scheme: Scheme, attack: AttackKind) -> Option<MismatchCause> {
+    match scheme {
+        Scheme::Unsecure | Scheme::EncryptOnly => None,
+        Scheme::Treeless => Some(match attack {
+            AttackKind::Replay => MismatchCause::Version,
+            AttackKind::BlockSplice => MismatchCause::Address,
+            _ => MismatchCause::Content,
+        }),
+        Scheme::TreeBased => match attack {
+            AttackKind::Replay | AttackKind::VersionRollback | AttackKind::CrossContextSplice => {
+                None
+            }
+            AttackKind::BlockSplice => Some(MismatchCause::Address),
+            _ => Some(MismatchCause::Content),
         },
     }
 }
@@ -210,23 +246,32 @@ fn reference_output(model: &Model, s1: u64, s2: u64) -> Vec<u8> {
     r.read_output().expect("unprotected read cannot fail")
 }
 
+/// Cause a detected integrity failure reports, if it was a MAC mismatch.
+fn mismatch_cause(e: IntegrityError) -> Option<MismatchCause> {
+    match e {
+        IntegrityError::MacMismatch { cause, .. } => Some(cause),
+        _ => None,
+    }
+}
+
 /// Drive the remaining layers and the final read-back, classifying against
-/// the reference.
+/// the reference. On detection, also report which MAC binding the scheme
+/// diagnosed as broken (if detection came from a MAC at all).
 fn finish<M: tnpu_memprot::functional::FunctionalMemory>(
     runner: &mut SecureRunner<M>,
     reference: &[u8],
-) -> Outcome {
+) -> (Outcome, Option<MismatchCause>) {
     while !runner.is_finished() {
         match runner.step() {
             Ok(_) => {}
-            Err(RunError::Integrity(_)) => return Outcome::Detected,
+            Err(RunError::Integrity(e)) => return (Outcome::Detected, mismatch_cause(e)),
             Err(e) => panic!("attack produced a non-integrity failure: {e}"),
         }
     }
     match runner.read_output() {
-        Ok(out) if out == reference => Outcome::Ineffective,
-        Ok(_) => Outcome::Corrupted,
-        Err(RunError::Integrity(_)) => Outcome::Detected,
+        Ok(out) if out == reference => (Outcome::Ineffective, None),
+        Ok(_) => (Outcome::Corrupted, None),
+        Err(RunError::Integrity(e)) => (Outcome::Detected, mismatch_cause(e)),
         Err(e) => panic!("attack produced a non-integrity failure: {e}"),
     }
 }
@@ -298,16 +343,17 @@ pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult
         };
         adv.inject(runner.memory_mut(), &mut point)
     };
-    let outcome = if changed {
+    let (outcome, cause) = if changed {
         finish(&mut runner, &reference)
     } else {
-        Outcome::NotApplicable
+        (Outcome::NotApplicable, None)
     };
     CellResult {
         scheme,
         attack,
         outcome,
         expected,
+        cause,
     }
 }
 
@@ -371,6 +417,34 @@ mod tests {
     #[test]
     fn matrix_is_deterministic() {
         assert_eq!(run_matrix(&tiny()), run_matrix(&tiny()));
+    }
+
+    #[test]
+    fn detected_cells_diagnose_the_expected_cause() {
+        // The cause discriminant is part of the detection contract: the
+        // tree-less scheme must tell replay (version binding) apart from
+        // relocation (address binding) apart from corruption (content),
+        // and the tree must intercept counter-side attacks before MAC
+        // diagnosis.
+        for cell in run_matrix(&tiny()) {
+            assert_eq!(
+                cell.cause,
+                expected_cause(cell.scheme, cell.attack),
+                "{} × {}: diagnosed {:?}",
+                cell.scheme,
+                cell.attack,
+                cell.cause
+            );
+        }
+    }
+
+    #[test]
+    fn undetected_cells_never_carry_a_cause() {
+        for scheme in [Scheme::Unsecure, Scheme::EncryptOnly] {
+            for attack in AttackKind::ALL {
+                assert_eq!(expected_cause(scheme, attack), None, "{scheme} × {attack}");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   checker for its consistency.
 //! * [`secure_runner`] — functional secure inference: real bytes through
 //!   real crypto with version management end-to-end.
+//! * [`recovery`] — bounded re-fetch retry and re-encryption epoch
+//!   sweeps for *environmental* faults, with every recovery cycle
+//!   charged through the scheme's cost engine.
 //! * [`attacks`] — the adversarial attack-injection harness: seeded
 //!   attacks against full functional inferences, classified into the
 //!   scheme × attack detection matrix of §III/§IV-C.
@@ -35,6 +38,7 @@ pub mod cpu_access;
 pub mod endtoend;
 pub mod hwcost;
 pub mod instr;
+pub mod recovery;
 pub mod runspec;
 pub mod secure_runner;
 pub mod sensor;

@@ -100,10 +100,25 @@ impl std::error::Error for VersionError {}
 /// table.merge(0).unwrap(); // all tiles at version 1: collapse
 /// assert_eq!(table.version(0, 0).unwrap(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VersionTable {
     entries: BTreeMap<TensorId, VersionEntry>,
     peak_bytes: u64,
+    /// Largest version a bump may produce before reporting
+    /// [`VersionError::Exhausted`]. `u64::MAX` by default (the paper's 8 B
+    /// entries); tests and the fault harness lower it to exercise the
+    /// re-encryption epoch sweep without 2^64 writes.
+    limit: u64,
+}
+
+impl Default for VersionTable {
+    fn default() -> Self {
+        VersionTable {
+            entries: BTreeMap::new(),
+            peak_bytes: 0,
+            limit: u64::MAX,
+        }
+    }
 }
 
 impl VersionTable {
@@ -111,6 +126,34 @@ impl VersionTable {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Lower the exhaustion threshold: bumps refuse to exceed `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero — version 0 means "never written", so a
+    /// zero limit would make every tensor unwritable.
+    pub fn set_limit(&mut self, limit: u64) {
+        assert!(limit > 0, "version limit must be positive");
+        self.limit = limit;
+    }
+
+    /// The current exhaustion threshold.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Reset every entry to version 0 — the version half of a
+    /// re-encryption epoch sweep. Sound *only* together with a re-key:
+    /// all MACs bound under the old epoch's keys are dead, so reusing the
+    /// low version numbers re-admits nothing. Expanded entries collapse to
+    /// `Single(0)` (the sweep rewrites whole tensors).
+    pub fn reset_epoch(&mut self) {
+        for entry in self.entries.values_mut() {
+            *entry = VersionEntry::Single(0);
+        }
     }
 
     /// Register a tensor at version 0 (freshly allocated, never written).
@@ -151,6 +194,9 @@ impl VersionTable {
             None => Err(VersionError::UnknownTensor(tensor)),
             Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
             Some(VersionEntry::Single(v)) => {
+                if *v >= self.limit {
+                    return Err(VersionError::Exhausted(tensor));
+                }
                 *v = v.checked_add(1).ok_or(VersionError::Exhausted(tensor))?;
                 Ok(*v)
             }
@@ -202,6 +248,9 @@ impl VersionTable {
                 let slot = tiles
                     .get_mut(tile as usize)
                     .ok_or(VersionError::NoSuchTile { tensor, tile })?;
+                if *slot >= self.limit {
+                    return Err(VersionError::Exhausted(tensor));
+                }
                 *slot = slot.checked_add(1).ok_or(VersionError::Exhausted(tensor))?;
                 Ok(*slot)
             }
@@ -230,6 +279,21 @@ impl VersionTable {
                 *entry = VersionEntry::Single(first);
                 Ok(first)
             }
+        }
+    }
+
+    /// Whether the tensor's entry is currently tile-expanded (the tensor
+    /// is mid-production). The epoch sweep skips such tensors: their
+    /// contents are partial and will be fully re-produced anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::UnknownTensor`].
+    pub fn is_expanded(&self, tensor: TensorId) -> Result<bool, VersionError> {
+        match self.entries.get(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Single(_)) => Ok(false),
+            Some(VersionEntry::Expanded(_)) => Ok(true),
         }
     }
 
@@ -390,6 +454,47 @@ mod tests {
         assert_eq!(t.version(3, 0), Ok(u64::MAX), "tile untouched");
         // Other tiles keep working.
         assert_eq!(t.bump_tile(3, 1), Ok(8));
+    }
+
+    #[test]
+    fn lowered_limit_exhausts_early_and_reset_recovers() {
+        let mut t = table_with(0);
+        t.set_limit(2);
+        assert_eq!(t.limit(), 2);
+        assert_eq!(t.bump(0), Ok(1));
+        assert_eq!(t.bump(0), Ok(2));
+        assert_eq!(t.bump(0), Err(VersionError::Exhausted(0)));
+        assert_eq!(t.version(0, 0), Ok(2), "entry untouched by refusal");
+        // The epoch sweep's version half: everything back to 0, bumps
+        // work again.
+        t.reset_epoch();
+        assert_eq!(t.version(0, 0), Ok(0));
+        assert_eq!(t.bump(0), Ok(1));
+    }
+
+    #[test]
+    fn limit_applies_to_tiles_and_reset_collapses_expansions() {
+        let mut t = table_with(0);
+        t.set_limit(1);
+        t.expand(0, 3).expect("expand");
+        assert_eq!(t.bump_tile(0, 0), Ok(1));
+        assert_eq!(t.bump_tile(0, 0), Err(VersionError::Exhausted(0)));
+        t.reset_epoch();
+        // Expanded entries collapse: the sweep rewrites whole tensors.
+        assert_eq!(t.version(0, 0), Ok(0));
+        assert_eq!(t.bump(0), Ok(1), "single entry again");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        let mut t = VersionTable::new();
+        t.set_limit(0);
+    }
+
+    #[test]
+    fn default_limit_is_max() {
+        assert_eq!(VersionTable::new().limit(), u64::MAX);
     }
 
     #[test]

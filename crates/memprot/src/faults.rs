@@ -1,0 +1,477 @@
+//! Seeded environmental fault injection over a functional memory.
+//!
+//! [`FaultyMemory`] wraps any [`FunctionalMemory`] and perturbs its *read
+//! path* with environment-style faults: transient bit flips that clear on
+//! re-read, persistent stuck-at bits, dropped or stalled DMA bursts, and
+//! crypto-engine soft errors. The taxonomy is deliberately disjoint from
+//! [`crate::adversary`]: an adversary chooses *where* and *what* to tamper
+//! to defeat a scheme; the environment fires blindly at a configured rate
+//! and holds no state about the victim. Recovery policy (retry, backoff,
+//! re-encryption sweeps) lives in the secure runner — this module only
+//! produces the hazards.
+//!
+//! Everything is driven by one [`SplitMix64`] seeded from run labels, so a
+//! fault schedule is a pure function of the access sequence: byte-identical
+//! across runs and thread counts, per the workspace determinism contract.
+//!
+//! This file is under the `unchecked-arith` lint: fault accounting and bit
+//! addressing use checked/saturating arithmetic throughout.
+
+use crate::functional::{BlockCapture, FunctionalMemory, IntegrityError, MismatchCause};
+use crate::SchemeKind;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use tnpu_sim::rng::SplitMix64;
+use tnpu_sim::{Addr, BLOCK_SIZE};
+
+/// Bits per 64 B block.
+const BLOCK_BITS: u64 = 512;
+
+/// The environmental fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// One DRAM bit flips in flight and clears on re-read (particle strike
+    /// on the bus/buffer, not the cell).
+    TransientBitFlip,
+    /// A short burst of 2–4 bits flips in flight and clears on re-read.
+    TransientMultiBitFlip,
+    /// A DRAM cell latches: the bit reads as a fixed value until the row is
+    /// physically replaced. Persistent — re-reads and rewrites both see it.
+    StuckAtBit,
+    /// The DMA burst is dropped: the consumer sees an all-zero block. The
+    /// stored state is untouched, so a re-issued transfer succeeds.
+    DroppedRead,
+    /// The transfer stalls past the bus timeout before any bytes move.
+    /// Recoverable by re-issue on every scheme — there is nothing to
+    /// verify, so even unprotected memory notices.
+    StalledTransfer,
+    /// A soft error inside the crypto engine: a spurious verification
+    /// failure on MAC schemes (retry recovers), a corrupted decrypt on
+    /// encrypt-only (silent), nothing on unprotected memory.
+    CryptoSoftError,
+}
+
+impl FaultKind {
+    /// All fault kinds, in presentation order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TransientBitFlip,
+        FaultKind::TransientMultiBitFlip,
+        FaultKind::StuckAtBit,
+        FaultKind::DroppedRead,
+        FaultKind::StalledTransfer,
+        FaultKind::CryptoSoftError,
+    ];
+
+    /// Fixed-width table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientBitFlip => "transient-bit-flip",
+            FaultKind::TransientMultiBitFlip => "transient-multi-flip",
+            FaultKind::StuckAtBit => "stuck-at-bit",
+            FaultKind::DroppedRead => "dropped-read",
+            FaultKind::StalledTransfer => "stalled-transfer",
+            FaultKind::CryptoSoftError => "crypto-soft-error",
+        }
+    }
+
+    /// Whether the fault clears on a re-issued read (bounded retry can
+    /// recover it) as opposed to persisting in the stored state.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        !matches!(self, FaultKind::StuckAtBit)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A latched DRAM cell: bit `bit` of its block always reads as `value`.
+#[derive(Debug, Clone, Copy)]
+struct StuckBit {
+    bit: u16,
+    value: bool,
+}
+
+/// A functional memory with an environmental fault process layered over
+/// its read path.
+///
+/// `period` is the expected number of block reads between fault arrivals
+/// (a Bernoulli process with rate `1/period` per read, drawn from the
+/// seeded RNG); `0` disables injection entirely, making the wrapper a
+/// transparent forwarder.
+#[derive(Debug)]
+pub struct FaultyMemory<M: FunctionalMemory> {
+    inner: RefCell<M>,
+    kind: FaultKind,
+    period: u64,
+    rng: RefCell<SplitMix64>,
+    stuck: RefCell<BTreeMap<u64, StuckBit>>,
+    injected: Cell<u64>,
+}
+
+impl<M: FunctionalMemory> FaultyMemory<M> {
+    /// Wrap `inner` with a `kind` fault process firing once per `period`
+    /// reads on average, driven by `seed`.
+    #[must_use]
+    pub fn new(inner: M, kind: FaultKind, period: u64, seed: u64) -> Self {
+        FaultyMemory {
+            inner: RefCell::new(inner),
+            kind,
+            period,
+            rng: RefCell::new(SplitMix64::new(seed)),
+            stuck: RefCell::new(BTreeMap::new()),
+            injected: Cell::new(0),
+        }
+    }
+
+    /// How many faults have been injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.get()
+    }
+
+    /// The configured fault kind.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Blocks currently holding a latched (stuck-at) cell.
+    #[must_use]
+    pub fn stuck_blocks(&self) -> usize {
+        self.stuck.borrow().len()
+    }
+
+    fn count_injection(&self) {
+        self.injected.set(self.injected.get().saturating_add(1));
+    }
+
+    /// One Bernoulli draw of the rate process.
+    fn fires(&self) -> bool {
+        if self.period == 0 {
+            return false;
+        }
+        self.rng.borrow_mut().next_below(self.period) == 0
+    }
+
+    fn pick_bit(&self) -> u16 {
+        self.rng.borrow_mut().next_below(BLOCK_BITS) as u16
+    }
+
+    /// Whether `bit` is set in the stored (untrusted) bytes of a capture.
+    fn bit_of(capture: &BlockCapture, bit: u16) -> bool {
+        let byte = usize::from(bit).checked_div(8).expect("nonzero") % BLOCK_SIZE;
+        capture.bytes[byte] & (1u8 << (bit % 8)) != 0
+    }
+
+    /// Re-force every latched cell of `addr`'s block onto the stored state
+    /// (what the physical defect does continuously).
+    fn force_stuck(&self, addr: Addr) {
+        let unit = addr.block().0;
+        let Some(s) = self.stuck.borrow().get(&unit).copied() else {
+            return;
+        };
+        let Some(cap) = self.inner.borrow().capture_block(addr) else {
+            return;
+        };
+        if Self::bit_of(&cap, s.bit) != s.value {
+            self.inner.borrow_mut().tamper_bits(addr, &[s.bit]);
+        }
+    }
+
+    /// Latch a fresh stuck-at cell in `addr`'s block (first fire only — a
+    /// block holds at most one defect).
+    fn latch_stuck(&self, addr: Addr) {
+        let unit = addr.block().0;
+        if self.stuck.borrow().contains_key(&unit) {
+            return; // already defective; nothing new arrives
+        }
+        let Some(cap) = self.inner.borrow().capture_block(addr) else {
+            return; // nothing stored: no cell content to latch onto
+        };
+        let bit = self.pick_bit();
+        // The cell latches onto the complement of its current value — a
+        // latch onto the same value would be invisible.
+        let value = !Self::bit_of(&cap, bit);
+        self.inner.borrow_mut().tamper_bits(addr, &[bit]);
+        self.stuck
+            .borrow_mut()
+            .insert(unit, StuckBit { bit, value });
+        self.count_injection();
+    }
+
+    /// Flip `bits` in flight, read, and flip them back (the stored state
+    /// clears on re-read).
+    fn read_with_flipped(
+        &self,
+        addr: Addr,
+        version: u64,
+        bits: &[u16],
+    ) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        self.inner.borrow_mut().tamper_bits(addr, bits);
+        let result = self.inner.borrow().read_block(addr, version);
+        self.inner.borrow_mut().tamper_bits(addr, bits);
+        result
+    }
+
+    fn inject_read(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        match self.kind {
+            FaultKind::TransientBitFlip => {
+                self.count_injection();
+                self.read_with_flipped(addr, version, &[self.pick_bit()])
+            }
+            FaultKind::TransientMultiBitFlip => {
+                self.count_injection();
+                let burst = self.rng.borrow_mut().next_below(3).saturating_add(2);
+                let mut bits: Vec<u16> = Vec::new();
+                while (bits.len() as u64) < burst {
+                    let bit = self.pick_bit();
+                    if !bits.contains(&bit) {
+                        bits.push(bit);
+                    }
+                }
+                self.read_with_flipped(addr, version, &bits)
+            }
+            FaultKind::StuckAtBit => {
+                self.latch_stuck(addr);
+                self.inner.borrow().read_block(addr, version)
+            }
+            FaultKind::DroppedRead => {
+                self.count_injection();
+                let Some(cap) = self.inner.borrow().capture_block(addr) else {
+                    return self.inner.borrow().read_block(addr, version);
+                };
+                // The burst never arrives: the consumer sees zeros. Flip
+                // every set bit of the stored bytes for the duration of
+                // the read, then restore — the store itself is untouched.
+                let bits: Vec<u16> = (0..BLOCK_BITS as u16)
+                    .filter(|&b| Self::bit_of(&cap, b))
+                    .collect();
+                self.read_with_flipped(addr, version, &bits)
+            }
+            FaultKind::StalledTransfer => {
+                self.count_injection();
+                Err(IntegrityError::Stalled { addr: addr.0 })
+            }
+            FaultKind::CryptoSoftError => match self.inner.borrow().scheme() {
+                // The verification unit mis-computes one tag: a spurious
+                // mismatch with nothing actually wrong in the store.
+                SchemeKind::Treeless | SchemeKind::TreeBased => {
+                    self.count_injection();
+                    Err(IntegrityError::MacMismatch {
+                        addr: addr.0,
+                        cause: MismatchCause::Content,
+                    })
+                }
+                // The decrypt pipeline glitches: one plaintext bit is
+                // wrong and nothing can notice.
+                SchemeKind::EncryptOnly => {
+                    self.count_injection();
+                    let mut pt = self.inner.borrow().read_block(addr, version)?;
+                    let bit = self.pick_bit();
+                    let byte = usize::from(bit).checked_div(8).expect("nonzero") % BLOCK_SIZE;
+                    pt[byte] ^= 1u8 << (bit % 8);
+                    Ok(pt)
+                }
+                // No crypto engine exists to err.
+                SchemeKind::Unsecure => self.inner.borrow().read_block(addr, version),
+            },
+        }
+    }
+}
+
+impl<M: FunctionalMemory> FunctionalMemory for FaultyMemory<M> {
+    fn scheme(&self) -> SchemeKind {
+        self.inner.borrow().scheme()
+    }
+
+    fn write_block(&mut self, addr: Addr, version: u64, plaintext: [u8; BLOCK_SIZE]) {
+        self.inner.get_mut().write_block(addr, version, plaintext);
+        // A latched cell reasserts itself over whatever was written.
+        self.force_stuck(addr);
+    }
+
+    fn read_block(&self, addr: Addr, version: u64) -> Result<[u8; BLOCK_SIZE], IntegrityError> {
+        self.force_stuck(addr);
+        if self.fires() {
+            self.inject_read(addr, version)
+        } else {
+            self.inner.borrow().read_block(addr, version)
+        }
+    }
+
+    fn tamper_bits(&mut self, addr: Addr, bits: &[u16]) -> bool {
+        self.inner.get_mut().tamper_bits(addr, bits)
+    }
+
+    fn capture_block(&self, addr: Addr) -> Option<BlockCapture> {
+        self.inner.borrow().capture_block(addr)
+    }
+
+    fn restore_block(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        self.inner.get_mut().restore_block(addr, capture)
+    }
+
+    fn rollback_metadata(&mut self, addr: Addr, capture: &BlockCapture) -> bool {
+        self.inner.get_mut().rollback_metadata(addr, capture)
+    }
+
+    fn splice_block(&mut self, donor: Addr, victim: Addr) -> bool {
+        self.inner.get_mut().splice_block(donor, victim)
+    }
+
+    fn substitute_mac(&mut self, victim: Addr, donor: Addr) -> bool {
+        self.inner.get_mut().substitute_mac(victim, donor)
+    }
+
+    fn dram_contains(&self, needle: &[u8]) -> bool {
+        self.inner.borrow().dram_contains(needle)
+    }
+
+    fn rekey(&mut self, epoch: u64) -> bool {
+        self.inner.get_mut().rekey(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{build_functional, TreelessMemory, UnsecureMemory};
+    use tnpu_crypto::Key128;
+
+    fn filled_treeless(kind: FaultKind, period: u64) -> FaultyMemory<TreelessMemory> {
+        let mut inner = TreelessMemory::new(Key128::derive(b"faulty"));
+        for b in 0..8u64 {
+            inner.write_block(Addr(b * 64), 1, [b as u8 + 1; 64]);
+        }
+        FaultyMemory::new(inner, kind, period, 0xfa017)
+    }
+
+    #[test]
+    fn disabled_injector_is_transparent() {
+        let m = filled_treeless(FaultKind::TransientBitFlip, 0);
+        for b in 0..8u64 {
+            assert_eq!(
+                m.read_block(Addr(b * 64), 1).expect("clean"),
+                [b as u8 + 1; 64]
+            );
+        }
+        assert_eq!(m.injected(), 0);
+    }
+
+    #[test]
+    fn transient_flip_fails_once_then_clears() {
+        // period 1: every read fires.
+        let m = filled_treeless(FaultKind::TransientBitFlip, 1);
+        let first = m.read_block(Addr(0), 1);
+        assert!(
+            matches!(
+                first,
+                Err(IntegrityError::MacMismatch {
+                    cause: MismatchCause::Content,
+                    ..
+                })
+            ),
+            "{first:?}"
+        );
+        // The flip cleared; a fault-free wrapper over the same store reads
+        // clean (the injector itself would fire again at period 1).
+        let inner = m.inner.into_inner();
+        assert_eq!(inner.read_block(Addr(0), 1).expect("cleared"), [1u8; 64]);
+    }
+
+    #[test]
+    fn stuck_bit_persists_across_reads_and_writes() {
+        let mut m = filled_treeless(FaultKind::StuckAtBit, 1);
+        assert!(m.read_block(Addr(0), 1).is_err(), "latched cell detected");
+        assert_eq!(m.stuck_blocks(), 1);
+        assert!(
+            m.read_block(Addr(0), 1).is_err(),
+            "still latched on re-read"
+        );
+        // A rewrite does not fix the physical cell. Whether one particular
+        // rewrite trips it depends on whether its ciphertext bit matches
+        // the latched value, so write several distinct blocks: the defect
+        // must corrupt at least one of them.
+        let mut any_failed = false;
+        for i in 0..8u64 {
+            m.write_block(Addr(0), 2 + i, [0x10 + i as u8; 64]);
+            if m.read_block(Addr(0), 2 + i).is_err() {
+                any_failed = true;
+                break;
+            }
+        }
+        assert!(any_failed, "defect survives rewrites");
+        assert_eq!(m.stuck_blocks(), 1, "still the same single latched cell");
+    }
+
+    #[test]
+    fn stalled_transfer_reports_stalled_and_leaves_store_intact() {
+        let m = filled_treeless(FaultKind::StalledTransfer, 1);
+        assert_eq!(
+            m.read_block(Addr(0), 1),
+            Err(IntegrityError::Stalled { addr: 0 })
+        );
+        let inner = m.inner.into_inner();
+        assert_eq!(inner.read_block(Addr(0), 1).expect("intact"), [1u8; 64]);
+    }
+
+    #[test]
+    fn dropped_read_reads_zero_on_unprotected_memory() {
+        let mut inner = UnsecureMemory::new();
+        inner.write_block(Addr(0), 1, [0xffu8; 64]);
+        let m = FaultyMemory::new(inner, FaultKind::DroppedRead, 1, 7);
+        assert_eq!(m.read_block(Addr(0), 1).expect("no check"), [0u8; 64]);
+        // The store itself was not changed.
+        let inner = m.inner.into_inner();
+        assert_eq!(inner.read_block(Addr(0), 1).expect("intact"), [0xffu8; 64]);
+    }
+
+    #[test]
+    fn crypto_soft_error_never_fires_on_unsecure() {
+        let mut inner = UnsecureMemory::new();
+        inner.write_block(Addr(0), 1, [3u8; 64]);
+        let m = FaultyMemory::new(inner, FaultKind::CryptoSoftError, 1, 7);
+        for _ in 0..4 {
+            assert_eq!(m.read_block(Addr(0), 1).expect("no engine"), [3u8; 64]);
+        }
+        assert_eq!(m.injected(), 0);
+    }
+
+    #[test]
+    fn crypto_soft_error_silently_corrupts_encrypt_only() {
+        let mut inner =
+            build_functional(crate::SchemeKind::EncryptOnly, Key128::derive(b"soft"), 64);
+        inner.write_block(Addr(0), 1, [9u8; 64]);
+        let m = FaultyMemory::new(inner, FaultKind::CryptoSoftError, 1, 7);
+        let pt = m.read_block(Addr(0), 1).expect("no integrity check");
+        assert_ne!(pt, [9u8; 64], "one plaintext bit wrong");
+        assert_eq!(m.injected(), 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = || {
+            let m = filled_treeless(FaultKind::TransientMultiBitFlip, 3);
+            let results: Vec<bool> = (0..8u64)
+                .map(|b| m.read_block(Addr(b * 64), 1).is_ok())
+                .collect();
+            (results, m.injected())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn labels_are_distinct_and_transience_is_stuck_only() {
+        let labels: std::collections::BTreeSet<_> =
+            FaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.is_transient(), kind != FaultKind::StuckAtBit);
+        }
+    }
+}

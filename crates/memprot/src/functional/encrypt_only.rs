@@ -19,6 +19,8 @@ use tnpu_sim::{Addr, BLOCK_SIZE};
 pub struct EncryptOnlyMemory {
     dram: RawDram,
     xts: XtsMode,
+    /// Retained for epoch re-keying (the exhaustion sweep).
+    master: Key128,
 }
 
 impl EncryptOnlyMemory {
@@ -28,6 +30,7 @@ impl EncryptOnlyMemory {
         EncryptOnlyMemory {
             dram: RawDram::new(),
             xts: XtsMode::from_master(master),
+            master,
         }
     }
 
@@ -122,6 +125,14 @@ impl FunctionalMemory for EncryptOnlyMemory {
 
     fn dram_contains(&self, needle: &[u8]) -> bool {
         self.dram.contains_bytes(needle)
+    }
+
+    fn rekey(&mut self, epoch: u64) -> bool {
+        let mut label = b"encrypt-only-epoch".to_vec();
+        label.extend_from_slice(&epoch.to_le_bytes());
+        label.extend_from_slice(&self.master.0);
+        self.xts = XtsMode::from_master(Key128::derive(&label));
+        true
     }
 }
 

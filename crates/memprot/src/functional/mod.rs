@@ -27,14 +27,53 @@ use tnpu_crypto::mac::MacTag;
 use tnpu_crypto::Key128;
 use tnpu_sim::{Addr, BLOCK_SIZE};
 
+/// Which binding of the per-block MAC failed — the cause discriminant a
+/// retry policy needs. The MAC covers *(content, address, version)*; on a
+/// mismatch the schemes run a deterministic failure-path diagnosis to tell
+/// the three apart: content errors are worth re-fetching (a transient bus
+/// flip clears on re-read), while address/version mismatches indicate
+/// relocation or replay of otherwise-valid state and must escalate
+/// immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchCause {
+    /// The stored bytes (or the tag itself) are inconsistent — tampering
+    /// or a transient fault in the data path.
+    Content,
+    /// The stored `(ciphertext, tag)` pair is valid *somewhere else*: it
+    /// was relocated/spliced from another address.
+    Address,
+    /// The pair verifies under a nearby version: stale state was replayed
+    /// over a newer write.
+    Version,
+}
+
+impl MismatchCause {
+    /// Short diagnostic label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MismatchCause::Content => "content",
+            MismatchCause::Address => "address",
+            MismatchCause::Version => "version",
+        }
+    }
+}
+
+impl std::fmt::Display for MismatchCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Why a protected read was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntegrityError {
-    /// The per-block MAC did not match (content, address or version is
-    /// inconsistent with what was written).
+    /// The per-block MAC did not match.
     MacMismatch {
         /// Block base address of the failing block.
         addr: u64,
+        /// Which of the MAC's three bindings is inconsistent.
+        cause: MismatchCause,
     },
     /// A counter-tree node hash did not match — the counter has been
     /// tampered with or replayed.
@@ -47,19 +86,39 @@ pub enum IntegrityError {
         /// Block base address of the missing block.
         addr: u64,
     },
+    /// The DMA transfer stalled before any bytes arrived (bus timeout).
+    /// Purely environmental — the stored state is untouched, so a re-issued
+    /// transfer succeeds on every scheme.
+    Stalled {
+        /// Block base address of the stalled transfer.
+        addr: u64,
+    },
 }
+
+/// Issue vocabulary alias: the typed error protected reads propagate
+/// instead of panicking.
+pub type ProtectionError = IntegrityError;
 
 impl std::fmt::Display for IntegrityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IntegrityError::MacMismatch { addr } => {
-                write!(f, "mac verification failed for block at {addr:#x}")
+            IntegrityError::MacMismatch { addr, cause } => {
+                write!(
+                    f,
+                    "mac verification failed for block at {addr:#x} ({cause})"
+                )
             }
             IntegrityError::TreeMismatch { level } => {
                 write!(f, "integrity-tree verification failed at level {level}")
             }
             IntegrityError::NotWritten { addr } => {
                 write!(f, "block at {addr:#x} was never written")
+            }
+            IntegrityError::Stalled { addr } => {
+                write!(
+                    f,
+                    "dma transfer stalled for block at {addr:#x} (bus timeout)"
+                )
             }
         }
     }
@@ -145,6 +204,13 @@ pub trait FunctionalMemory: std::fmt::Debug {
     /// Whether `needle` appears anywhere in the untrusted store — the
     /// confidentiality probe.
     fn dram_contains(&self, needle: &[u8]) -> bool;
+
+    /// Switch to the keys of re-encryption `epoch` (the version-exhaustion
+    /// sweep's re-key step). The stored state is *not* touched: blocks
+    /// written under the old epoch become unreadable until the sweep
+    /// rewrites them, which is why callers must re-read everything first.
+    /// Returns `false` on schemes with no keys to rotate.
+    fn rekey(&mut self, epoch: u64) -> bool;
 }
 
 impl<M: FunctionalMemory + ?Sized> FunctionalMemory for Box<M> {
@@ -177,6 +243,9 @@ impl<M: FunctionalMemory + ?Sized> FunctionalMemory for Box<M> {
     }
     fn dram_contains(&self, needle: &[u8]) -> bool {
         (**self).dram_contains(needle)
+    }
+    fn rekey(&mut self, epoch: u64) -> bool {
+        (**self).rekey(epoch)
     }
 }
 
@@ -245,11 +314,58 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = IntegrityError::MacMismatch { addr: 0x40 };
+        let e = IntegrityError::MacMismatch {
+            addr: 0x40,
+            cause: MismatchCause::Content,
+        };
         assert!(e.to_string().contains("0x40"));
+        assert!(e.to_string().contains("content"));
         let e = IntegrityError::TreeMismatch { level: 2 };
         assert!(e.to_string().contains("level 2"));
         let e = IntegrityError::NotWritten { addr: 0x80 };
         assert!(e.to_string().contains("never written"));
+        let e = IntegrityError::Stalled { addr: 0xc0 };
+        assert!(e.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn mismatch_causes_have_distinct_labels() {
+        let labels: std::collections::BTreeSet<_> = [
+            MismatchCause::Content,
+            MismatchCause::Address,
+            MismatchCause::Version,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn rekey_alone_invalidates_old_blocks_on_keyed_schemes() {
+        for kind in SchemeKind::ALL {
+            let mut mem = build_functional(kind, Key128::derive(b"rekey"), 256);
+            mem.write_block(Addr(0), 1, [0x11u8; 64]);
+            let rotated = mem.rekey(1);
+            match kind {
+                SchemeKind::Unsecure => {
+                    assert!(!rotated, "no keys to rotate");
+                    assert_eq!(mem.read_block(Addr(0), 1).expect("plaintext"), [0x11u8; 64]);
+                }
+                _ => {
+                    assert!(rotated, "{kind}");
+                    // Old-epoch state no longer decrypts/verifies cleanly
+                    // until rewritten — the sweep must rewrite everything.
+                    let stale = mem.read_block(Addr(0), 1);
+                    assert!(
+                        stale.is_err() || stale.expect("encrypt-only") != [0x11u8; 64],
+                        "{kind}: old-epoch block survived a rekey"
+                    );
+                    // A fresh write under the new epoch round-trips.
+                    mem.write_block(Addr(0), 1, [0x22u8; 64]);
+                    assert_eq!(mem.read_block(Addr(0), 1).expect("new epoch"), [0x22u8; 64]);
+                }
+            }
+        }
     }
 }

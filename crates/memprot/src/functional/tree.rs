@@ -3,7 +3,7 @@
 //! the baseline scheme of the paper over real bytes.
 
 use super::dram::RawDram;
-use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError};
+use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError, MismatchCause};
 use crate::counters::{Bump, SplitCounterBlock};
 use crate::tree::TreeGeometry;
 use crate::SchemeKind;
@@ -36,7 +36,13 @@ pub struct CounterTreeMemory {
     counters_per_block: u64,
     ctr: CtrMode,
     mac: BlockMac,
+    /// Retained for epoch re-keying (the exhaustion sweep).
+    master: Key128,
 }
+
+/// Probe width of the failure-path diagnosis (the counter plays the
+/// version's role in this scheme).
+const COUNTER_PROBE_WINDOW: u64 = 8;
 
 impl CounterTreeMemory {
     /// Create a protected memory covering `data_blocks` 64 B blocks.
@@ -64,7 +70,43 @@ impl CounterTreeMemory {
             counters_per_block,
             ctr: CtrMode::new(Key128::derive(&ctr_label)),
             mac: BlockMac::new(Key128::derive(&mac_label)),
+            master,
         }
+    }
+
+    /// Classify a MAC mismatch (failure path only). The tree has already
+    /// verified the counter path, so most failures are content tampering —
+    /// but a spliced pair still reads as an address mismatch, and a pair
+    /// valid under a nearby counter as a (tree-escaped) replay.
+    fn diagnose(
+        &self,
+        addr: Addr,
+        counter: u64,
+        ct: &[u8; BLOCK_SIZE],
+        tag: MacTag,
+    ) -> MismatchCause {
+        for delta in 1..=COUNTER_PROBE_WINDOW {
+            for c in [counter.checked_sub(delta), counter.checked_add(delta)]
+                .into_iter()
+                .flatten()
+            {
+                if self.mac.verify(addr.0, c, ct, tag) {
+                    return MismatchCause::Version;
+                }
+            }
+        }
+        let unit = addr.block().0;
+        for (&other, &other_tag) in &self.macs {
+            if other == unit || other_tag != tag {
+                continue;
+            }
+            if let Some(other_ct) = self.dram.read_block(Addr(other * BLOCK_SIZE as u64)) {
+                if other_ct == *ct {
+                    return MismatchCause::Address;
+                }
+            }
+        }
+        MismatchCause::Content
     }
 
     fn counter_block_of(&self, block: u64) -> u64 {
@@ -227,7 +269,10 @@ impl CounterTreeMemory {
             .copied()
             .ok_or(IntegrityError::NotWritten { addr: addr.0 })?;
         if !self.mac.verify(addr.0, counter, &ct, tag) {
-            return Err(IntegrityError::MacMismatch { addr: addr.0 });
+            return Err(IntegrityError::MacMismatch {
+                addr: addr.0,
+                cause: self.diagnose(addr, counter, &ct, tag),
+            });
         }
         let mut pt = ct;
         self.ctr.apply(addr.0, counter, &mut pt);
@@ -365,6 +410,20 @@ impl FunctionalMemory for CounterTreeMemory {
     fn dram_contains(&self, needle: &[u8]) -> bool {
         self.dram.contains_bytes(needle)
     }
+
+    fn rekey(&mut self, epoch: u64) -> bool {
+        let mut label = b"tree-epoch".to_vec();
+        label.extend_from_slice(&epoch.to_le_bytes());
+        label.extend_from_slice(&self.master.0);
+        let epoch_master = Key128::derive(&label);
+        let mut mac_label = b"tree-mac".to_vec();
+        mac_label.extend_from_slice(&epoch_master.0);
+        let mut ctr_label = b"tree-ctr".to_vec();
+        ctr_label.extend_from_slice(&epoch_master.0);
+        self.ctr = CtrMode::new(Key128::derive(&ctr_label));
+        self.mac = BlockMac::new(Key128::derive(&mac_label));
+        true
+    }
 }
 
 /// Everything a physical attacker can capture about one block: the
@@ -420,7 +479,10 @@ mod tests {
         m.dram_mut().block_mut(Addr(0)).expect("present")[10] ^= 0x80;
         assert_eq!(
             m.read_block(Addr(0)),
-            Err(IntegrityError::MacMismatch { addr: 0 })
+            Err(IntegrityError::MacMismatch {
+                addr: 0,
+                cause: MismatchCause::Content
+            })
         );
     }
 

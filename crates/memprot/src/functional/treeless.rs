@@ -2,7 +2,7 @@
 //! real bytes (paper Fig. 12).
 
 use super::dram::RawDram;
-use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError};
+use super::{flip_bits, BlockCapture, FunctionalMemory, IntegrityError, MismatchCause};
 use crate::SchemeKind;
 use std::collections::BTreeMap;
 use tnpu_crypto::mac::{BlockMac, MacTag};
@@ -33,7 +33,15 @@ pub struct TreelessMemory {
     macs: BTreeMap<u64, MacTag>,
     xts: XtsMode,
     mac: BlockMac,
+    /// Retained for epoch re-keying (the exhaustion sweep).
+    master: Key128,
 }
+
+/// How far the failure-path diagnosis probes around the expected version
+/// when classifying a MAC mismatch. Replay windows in practice are a few
+/// versions wide (one bump per inference pass); anything further away is
+/// indistinguishable from content tampering.
+const VERSION_PROBE_WINDOW: u64 = 8;
 
 impl TreelessMemory {
     /// Create a protected memory with keys derived from `master`.
@@ -46,7 +54,45 @@ impl TreelessMemory {
             macs: BTreeMap::new(),
             xts: XtsMode::from_master(master),
             mac: BlockMac::new(Key128::derive(&mac_label)),
+            master,
         }
+    }
+
+    /// Classify a MAC mismatch (failure path only — runs real crypto over
+    /// the probe window, but only once a read has already been rejected).
+    fn diagnose(
+        &self,
+        addr: Addr,
+        version: u64,
+        ct: &[u8; BLOCK_SIZE],
+        tag: MacTag,
+    ) -> MismatchCause {
+        // Version: the stored pair verifies under a nearby version — stale
+        // state was replayed over a newer write (or the table ran ahead).
+        for delta in 1..=VERSION_PROBE_WINDOW {
+            for v in [version.checked_sub(delta), version.checked_add(delta)]
+                .into_iter()
+                .flatten()
+            {
+                if self.mac.verify(addr.0, v, ct, tag) {
+                    return MismatchCause::Version;
+                }
+            }
+        }
+        // Address: the identical (ciphertext, tag) pair is stored intact at
+        // another address — it was relocated/spliced to this one.
+        let unit = addr.block().0;
+        for (&other, &other_tag) in &self.macs {
+            if other == unit || other_tag != tag {
+                continue;
+            }
+            if let Some(other_ct) = self.dram.read_block(Addr(other * BLOCK_SIZE as u64)) {
+                if other_ct == *ct {
+                    return MismatchCause::Address;
+                }
+            }
+        }
+        MismatchCause::Content
     }
 
     /// Encrypt and store a block with `version` (the `mvout` path,
@@ -86,7 +132,10 @@ impl TreelessMemory {
             .copied()
             .ok_or(IntegrityError::NotWritten { addr: addr.0 })?;
         if !self.mac.verify(addr.0, version, &ct, tag) {
-            return Err(IntegrityError::MacMismatch { addr: addr.0 });
+            return Err(IntegrityError::MacMismatch {
+                addr: addr.0,
+                cause: self.diagnose(addr, version, &ct, tag),
+            });
         }
         let mut pt = ct;
         self.xts.decrypt_block(unit, &mut pt);
@@ -191,6 +240,18 @@ impl FunctionalMemory for TreelessMemory {
     fn dram_contains(&self, needle: &[u8]) -> bool {
         self.dram.contains_bytes(needle)
     }
+
+    fn rekey(&mut self, epoch: u64) -> bool {
+        let mut label = b"treeless-epoch".to_vec();
+        label.extend_from_slice(&epoch.to_le_bytes());
+        label.extend_from_slice(&self.master.0);
+        let epoch_master = Key128::derive(&label);
+        let mut mac_label = b"treeless-mac".to_vec();
+        mac_label.extend_from_slice(&epoch_master.0);
+        self.xts = XtsMode::from_master(epoch_master);
+        self.mac = BlockMac::new(Key128::derive(&mac_label));
+        true
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +286,10 @@ mod tests {
         m.dram_mut().block_mut(Addr(0)).expect("present")[0] ^= 1;
         assert_eq!(
             m.read_block(Addr(0), 1),
-            Err(IntegrityError::MacMismatch { addr: 0 })
+            Err(IntegrityError::MacMismatch {
+                addr: 0,
+                cause: MismatchCause::Content
+            })
         );
     }
 
@@ -249,7 +313,10 @@ mod tests {
         m.restore(Addr(0), old);
         assert_eq!(
             m.read_block(Addr(0), 2),
-            Err(IntegrityError::MacMismatch { addr: 0 })
+            Err(IntegrityError::MacMismatch {
+                addr: 0,
+                cause: MismatchCause::Version
+            })
         );
     }
 
@@ -277,7 +344,14 @@ mod tests {
         let snap = m.snapshot(Addr(0)).expect("present");
         m.write_block(Addr(64), 1, [8u8; 64]);
         m.restore(Addr(64), snap);
-        assert!(m.read_block(Addr(64), 1).is_err());
+        assert_eq!(
+            m.read_block(Addr(64), 1),
+            Err(IntegrityError::MacMismatch {
+                addr: 64,
+                cause: MismatchCause::Address
+            }),
+            "diagnosis must see the pair intact at its donor address"
+        );
     }
 
     #[test]

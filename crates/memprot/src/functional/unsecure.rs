@@ -87,6 +87,10 @@ impl FunctionalMemory for UnsecureMemory {
     fn dram_contains(&self, needle: &[u8]) -> bool {
         self.dram.contains_bytes(needle)
     }
+
+    fn rekey(&mut self, _epoch: u64) -> bool {
+        false // plaintext store: no keys to rotate
+    }
 }
 
 #[cfg(test)]

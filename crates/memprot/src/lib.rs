@@ -31,6 +31,7 @@ pub mod config;
 pub mod counters;
 pub mod encrypt_only;
 pub mod engine;
+pub mod faults;
 pub mod functional;
 pub mod layout;
 pub mod span;
