@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint attacks faults check bench
+.PHONY: build test fmt clippy lint attacks faults serve check bench
 
 build:
 	cargo build --release --workspace --locked
@@ -30,6 +30,13 @@ attacks:
 faults:
 	cargo run -p tnpu-bench --release --locked --bin faults -- --deny-corrupted
 
+# Multi-tenant serving tables (tail latency / throughput with context
+# switches charged through each scheme's engine) plus the attack matrix
+# on preempted and co-resident contexts; --deny-undetected fails if any
+# extended cell contradicts the claims or the stale-TLB window is open.
+serve:
+	cargo run -p tnpu-bench --release --locked --bin serve -- --quick --deny-undetected
+
 # Perf-trajectory harness: run the full experiment matrix and append one
 # timing record (per-pool and total wall seconds, thread count, cell
 # count) to BENCH_sweep.json. stdout still carries the byte-stable
@@ -39,4 +46,4 @@ bench:
 	./target/release/experiments --bench-json BENCH_sweep.json all > /tmp/tnpu_bench_out.txt
 	diff -q results_full.txt /tmp/tnpu_bench_out.txt
 
-check: build test fmt clippy lint attacks faults
+check: build test fmt clippy lint attacks faults serve

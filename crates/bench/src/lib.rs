@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod attacks;
 pub mod experiments;
 pub mod faults;
+pub mod serving;
 pub mod sweep;
 pub mod tables;
 pub mod traced;

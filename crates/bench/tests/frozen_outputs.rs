@@ -17,7 +17,7 @@
 
 use std::path::PathBuf;
 
-use tnpu_bench::{attacks, experiments, tables};
+use tnpu_bench::{attacks, experiments, serving, tables};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -51,6 +51,16 @@ fn attack_matrix_render_is_frozen() {
     let (cells, _) = attacks::matrix_with_threads(4, &attacks::DEFAULT_MODELS);
     assert_eq!(cells.len(), 56, "df+ncf matrix is 56 cells");
     check_golden("attacks_df_ncf.txt", &attacks::render(&cells));
+}
+
+#[test]
+fn reduced_serving_table_is_frozen() {
+    // The quick serving grid (2 arrivals x 2 policies x 4 schemes at the
+    // reduced request count): latency percentiles, throughput, and the
+    // engine-charged context-switch cycles must not drift.
+    let (reports, _) = serving::serve_with_threads(4, true);
+    assert_eq!(reports.len(), 16, "serving grid is 16 cells");
+    check_golden("serve_reduced.txt", &serving::render_serve(&reports));
 }
 
 #[test]

@@ -34,6 +34,53 @@ use tnpu_npu::alloc::{ModelLayout, TensorInfo};
 use tnpu_sim::rng::SplitMix64;
 use tnpu_sim::{Addr, BLOCK_SIZE};
 
+/// The lifecycle state of the victim context when the tamper lands.
+///
+/// The original matrix attacks a context that is *live* on the NPU. A
+/// multi-tenant pool (see [`crate::serving`]) exposes two more surfaces,
+/// and the paper's detection claims must hold on all of them:
+///
+/// * [`Surface::Preempted`] — the victim is suspended at a layer boundary
+///   ([`SecureRunner::suspend`]) when the attack lands and resumed
+///   afterwards. Suspension must not open a window: the version table
+///   travels with the context, so the next verified read after resume
+///   still sees the tamper.
+/// * [`Surface::CoResident`] — an innocent second tenant (same model,
+///   own keys, own memory) shares the pool while the victim is attacked.
+///   The victim's cell must classify exactly as when alone, *and* the
+///   neighbor's own inference must finish with the untampered reference
+///   output — attacking one tenant never corrupts another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Surface {
+    /// Victim live on the NPU (the original matrix).
+    Resident,
+    /// Victim suspended when the tamper lands, resumed after.
+    Preempted,
+    /// Victim attacked while an innocent tenant shares the pool.
+    CoResident,
+}
+
+impl Surface {
+    /// Every surface, in presentation order.
+    pub const ALL: [Surface; 3] = [Surface::Resident, Surface::Preempted, Surface::CoResident];
+
+    /// Stable label used in tables and seed derivation.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Surface::Resident => "resident",
+            Surface::Preempted => "preempted",
+            Surface::CoResident => "co-resident",
+        }
+    }
+}
+
+impl std::fmt::Display for Surface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What one injected attack did to one protected inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -276,11 +323,27 @@ fn finish<M: tnpu_memprot::functional::FunctionalMemory>(
     }
 }
 
-/// Run one scheme × attack cell: a clean first inference, an adversary
-/// observation, then a second inference with the attack injected right
-/// before the victim's consumer runs.
+/// Run one scheme × attack cell against a resident context: a clean first
+/// inference, an adversary observation, then a second inference with the
+/// attack injected right before the victim's consumer runs.
 #[must_use]
 pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult {
+    run_cell_on(model, scheme, attack, Surface::Resident)
+}
+
+/// Run one scheme × attack cell against the given context [`Surface`].
+///
+/// The [`Surface::Resident`] path is byte-identical to the original
+/// [`run_cell`] (same seed labels, same victim picks); the other surfaces
+/// derive their own injection points but share the expectation tables —
+/// the paper's claims do not weaken off the happy path.
+#[must_use]
+pub fn run_cell_on(
+    model: &Model,
+    scheme: Scheme,
+    attack: AttackKind,
+    surface: Surface,
+) -> CellResult {
     let expected = expected_outcome(scheme, attack);
     let s1 = SplitMix64::seed_from_labels(&["attacks", &model.name, "pass1"]);
     let s2 = SplitMix64::seed_from_labels(&["attacks", &model.name, "pass2"]);
@@ -292,12 +355,31 @@ pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult
     let mut runner = SecureRunner::with_memory(model, mem, s1);
     runner.run().expect("clean pass 1 must verify");
 
-    let mut rng = SplitMix64::new(SplitMix64::seed_from_labels(&[
-        "attacks",
-        &model.name,
-        scheme.label(),
-        attack.label(),
-    ]));
+    // The innocent co-resident tenant: same model, its own keys and
+    // memory. It finishes its first pass before the victim is attacked
+    // and its second pass after — both must stay clean.
+    let mut neighbor = (surface == Surface::CoResident).then(|| {
+        let mem = build_functional(scheme, Key128::derive(b"attacks-neighbor"), data_blocks);
+        let mut n = SecureRunner::with_memory(model, mem, s1);
+        n.run().expect("neighbor pass 1 must verify");
+        n
+    });
+
+    // Resident cells keep the original seed labels so the frozen matrix
+    // stays byte-identical; the new surfaces draw their own points.
+    let seed = match surface {
+        Surface::Resident => {
+            SplitMix64::seed_from_labels(&["attacks", &model.name, scheme.label(), attack.label()])
+        }
+        _ => SplitMix64::seed_from_labels(&[
+            "attacks",
+            &model.name,
+            scheme.label(),
+            attack.label(),
+            surface.label(),
+        ]),
+    };
+    let mut rng = SplitMix64::new(seed);
     let cands = candidates(model, &layout, attack);
     let (consumer, tensor) = cands[rng.next_below(cands.len() as u64) as usize];
     let blocks = tensor.bytes.div_ceil(BLOCK_SIZE as u64).max(1);
@@ -332,6 +414,13 @@ pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult
         .expect("victim tensor is registered");
     let mut foreign = (attack == AttackKind::CrossContextSplice)
         .then(|| build_functional(scheme, Key128::derive(b"attacks-foreign"), data_blocks));
+    // On the preempted surface the tamper lands while the context is
+    // suspended at this layer boundary: snapshot, inject, resume. Resume
+    // itself must succeed — the snapshot is epoch-fresh and the version
+    // table travels with the context — so detection is deferred to the
+    // next verified read, exactly as for a resident context.
+    let snapshot =
+        (surface == Surface::Preempted).then(|| runner.suspend().expect("boundary suspend"));
     let changed = {
         let mut point = AttackPoint {
             victim,
@@ -343,11 +432,27 @@ pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult
         };
         adv.inject(runner.memory_mut(), &mut point)
     };
+    if let Some(snapshot) = &snapshot {
+        runner
+            .resume(snapshot)
+            .expect("resuming over tampered memory succeeds; the next read detects");
+    }
     let (outcome, cause) = if changed {
         finish(&mut runner, &reference)
     } else {
         (Outcome::NotApplicable, None)
     };
+    if let Some(n) = neighbor.as_mut() {
+        // Tenant isolation: whatever happened to the victim, the
+        // co-resident tenant's own inference is untouched.
+        n.next_inference(s2).expect("neighbor input bumps");
+        n.run().expect("neighbor pass 2 must verify");
+        let out = n.read_output().expect("neighbor output must verify");
+        assert_eq!(
+            out, reference,
+            "attacking one tenant corrupted a co-resident tenant ({scheme} × {attack})"
+        );
+    }
     CellResult {
         scheme,
         attack,
@@ -360,10 +465,16 @@ pub fn run_cell(model: &Model, scheme: Scheme, attack: AttackKind) -> CellResult
 /// The full scheme × attack matrix for one model, in presentation order.
 #[must_use]
 pub fn run_matrix(model: &Model) -> Vec<CellResult> {
+    run_matrix_on(model, Surface::Resident)
+}
+
+/// The full scheme × attack matrix for one model on one context surface.
+#[must_use]
+pub fn run_matrix_on(model: &Model, surface: Surface) -> Vec<CellResult> {
     let mut out = Vec::with_capacity(Scheme::ALL.len() * AttackKind::ALL.len());
     for scheme in Scheme::ALL {
         for attack in AttackKind::ALL {
-            out.push(run_cell(model, scheme, attack));
+            out.push(run_cell_on(model, scheme, attack, surface));
         }
     }
     out
@@ -417,6 +528,59 @@ mod tests {
     #[test]
     fn matrix_is_deterministic() {
         assert_eq!(run_matrix(&tiny()), run_matrix(&tiny()));
+    }
+
+    #[test]
+    fn preempted_and_co_resident_surfaces_match_the_same_claims() {
+        // Suspending the victim when the tamper lands, or adding an
+        // innocent co-resident tenant, must not weaken (or change) a
+        // single cell of the matrix — and the co-resident run also
+        // asserts the neighbor's output stays clean.
+        let model = tiny();
+        for surface in [Surface::Preempted, Surface::CoResident] {
+            for cell in run_matrix_on(&model, surface) {
+                assert_eq!(
+                    cell.outcome, cell.expected,
+                    "{} × {} on {surface}: got {}, paper claims {}",
+                    cell.scheme, cell.attack, cell.outcome, cell.expected
+                );
+                assert_eq!(
+                    cell.cause,
+                    expected_cause(cell.scheme, cell.attack),
+                    "{} × {} on {surface}: diagnosed {:?}",
+                    cell.scheme,
+                    cell.attack,
+                    cell.cause
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_surface_is_the_original_cell() {
+        // `run_cell` must stay byte-for-byte the resident path — the
+        // frozen bench matrix depends on it.
+        let model = tiny();
+        for scheme in Scheme::ALL {
+            for attack in AttackKind::ALL {
+                assert_eq!(
+                    run_cell(&model, scheme, attack),
+                    run_cell_on(&model, scheme, attack, Surface::Resident),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_surfaces_are_deterministic() {
+        let model = tiny();
+        for surface in Surface::ALL {
+            assert_eq!(
+                run_matrix_on(&model, surface),
+                run_matrix_on(&model, surface),
+                "{surface}"
+            );
+        }
     }
 
     #[test]

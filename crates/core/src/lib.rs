@@ -28,6 +28,9 @@
 //! * [`hwcost`] — the hardware-overhead accounting of §V-E.
 //! * [`context`] — the secure-context lifecycle of §IV-E: enclave
 //!   creation, NELRANGE pages, driver assignment, attestation, IOMMU.
+//! * [`serving`] — multi-tenant serving: arrival processes, FCFS and
+//!   priority-preemptive scheduling over an NPU pool, and faithful
+//!   context-switch cost accounting through the protection engines.
 //! * [`sensor`] — the sensor-to-enclave secure ingestion of Fig. 3
 //!   (encrypted, authenticated, replay-protected frames).
 //! * [`system`] — the [`TnpuSystem`] facade tying everything together.
@@ -42,6 +45,7 @@ pub mod recovery;
 pub mod runspec;
 pub mod secure_runner;
 pub mod sensor;
+pub mod serving;
 pub mod system;
 pub mod version;
 

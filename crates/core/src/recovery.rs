@@ -138,18 +138,16 @@ impl Recovery {
         self.stats
     }
 
-    /// Cycles one 64 B block access costs under `cost` — the same formula
-    /// the NPU controller charges for a DMA beat: transfer time for data
-    /// plus metadata, DRAM latency, the engine's pipeline latency, and
-    /// the exposed (overlappable) miss stalls.
+    /// Cycles one 64 B block access costs under `cost` — the shared DMA
+    /// beat formula ([`AccessCost::beat_cycles`]) priced against this
+    /// recovery's memory system and the engine's pipeline latency.
     fn access_cycles(&self, cost: AccessCost) -> u64 {
-        let bytes = (BLOCK_SIZE as u64).saturating_add(cost.meta_bytes);
-        self.bandwidth
-            .transfer_time(bytes)
-            .0
-            .saturating_add(self.dram.latency.0)
-            .saturating_add(self.engine.pipeline_latency().0)
-            .saturating_add(self.dram.stall(cost.serial_misses, 0).0)
+        cost.beat_cycles(
+            BLOCK_SIZE as u64,
+            &self.bandwidth,
+            &self.dram,
+            self.engine.pipeline_latency(),
+        )
     }
 
     /// Charge one re-fetch of `(addr, version)`: the verified-read cost

@@ -15,7 +15,7 @@
 
 use crate::cpu_access::{CpuTensorAccess, TsError};
 use crate::recovery::{Recovery, RecoveryStats, RetryPolicy};
-use crate::version::{VersionError, VersionTable};
+use crate::version::{VersionError, VersionSnapshot, VersionTable};
 use tnpu_crypto::sha256::Sha256;
 use tnpu_crypto::Key128;
 use tnpu_memprot::functional::{FunctionalMemory, IntegrityError, MismatchCause, TreelessMemory};
@@ -74,6 +74,37 @@ impl From<IntegrityError> for RunError {
 impl From<VersionError> for RunError {
     fn from(e: VersionError) -> Self {
         RunError::Version(e)
+    }
+}
+
+/// The architectural state a preempted context saves through the
+/// fully-protected region: the epoch-tagged version-table snapshot, the
+/// layer cursor, and the inference's input seed. Produced by
+/// [`SecureRunner::suspend`], consumed by [`SecureRunner::resume`].
+///
+/// The tensor data itself stays in protected DRAM — versioned MACs make it
+/// self-authenticating, so a context switch moves only this (KB-scale)
+/// state, which is exactly what the serving layer charges as
+/// protected-region DMA.
+#[derive(Debug, Clone)]
+pub struct RunnerSnapshot {
+    table: VersionSnapshot,
+    next_layer: usize,
+    seed: u64,
+}
+
+impl RunnerSnapshot {
+    /// The re-encryption epoch the snapshot was taken in.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// Version-table bytes the snapshot carries (the DMA payload of the
+    /// save/restore).
+    #[must_use]
+    pub fn table_bytes(&self) -> u64 {
+        self.table.bytes()
     }
 }
 
@@ -555,6 +586,50 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         self.next_layer = self.model.layers.len();
         Ok(())
     }
+
+    /// Suspend the context at a layer boundary for a context switch:
+    /// capture the epoch-tagged version-table snapshot plus the layer
+    /// cursor and input seed. The tensor data stays in protected DRAM
+    /// (self-authenticating under the versioned MACs); only this snapshot
+    /// leaves the NPU.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Poisoned`] if the context is quarantined — a poisoned
+    /// context must not smuggle its state past the quarantine via a
+    /// suspend/resume cycle.
+    pub fn suspend(&self) -> Result<RunnerSnapshot, RunError> {
+        self.guard()?;
+        Ok(RunnerSnapshot {
+            table: self.table.snapshot(self.epoch),
+            next_layer: self.next_layer,
+            seed: self.seed,
+        })
+    }
+
+    /// Resume from a [`suspend`](Self::suspend) snapshot, re-validating
+    /// its epoch tag against the context's current epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Version`] with [`VersionError::StaleSnapshot`] if an
+    /// epoch sweep ran while the context was suspended — restoring
+    /// pre-sweep versions under post-sweep keys is the replay hazard the
+    /// epoch tag closes. The attempt quarantines the context (an attempted
+    /// rollback, whether bug or attack, leaves its scheduling state
+    /// untrustworthy). [`RunError::Poisoned`] if already quarantined.
+    pub fn resume(&mut self, snapshot: &RunnerSnapshot) -> Result<(), RunError> {
+        self.guard()?;
+        let r = self.resume_inner(snapshot);
+        self.note(r)
+    }
+
+    fn resume_inner(&mut self, snapshot: &RunnerSnapshot) -> Result<(), RunError> {
+        self.table.restore(&snapshot.table, self.epoch)?;
+        self.next_layer = snapshot.next_layer;
+        self.seed = snapshot.seed;
+        Ok(())
+    }
 }
 
 /// One verified read with the recovery retry budget. Without recovery
@@ -759,6 +834,67 @@ mod tests {
         assert!(RunError::Poisoned.to_string().contains("quarantined"));
         let cpu = RunError::Cpu(crate::cpu_access::TsError::ReadBufferEmpty);
         assert!(cpu.to_string().contains("cpu"));
+    }
+
+    // ---- suspend / resume (context switches) ----
+
+    #[test]
+    fn suspend_resume_at_a_layer_boundary_is_transparent() {
+        let mut straight = runner("df");
+        straight.run().expect("ok");
+        let want = straight.read_output().expect("ok");
+
+        let mut r = runner("df");
+        r.step().expect("layer 0");
+        r.step().expect("layer 1");
+        let snap = r.suspend().expect("suspend at boundary");
+        assert!(snap.table_bytes() > 0, "snapshot carries the table");
+        assert_eq!(snap.epoch(), 0);
+        // The scheduler parks the context; later it restores the state.
+        r.resume(&snap).expect("resume");
+        r.run().expect("finishes");
+        assert_eq!(r.read_output().expect("ok"), want);
+    }
+
+    #[test]
+    fn stale_snapshot_resume_is_refused_and_quarantines() {
+        // Regression test for the sweep/preemption hazard: a context
+        // suspended before an epoch sweep must not restore pre-sweep
+        // versions. Pre-fix (snapshots without epoch tags) the restore
+        // silently rewound the table into the new epoch.
+        let mut r = runner("df");
+        r.enable_recovery(RetryPolicy::default(), treeless_engine());
+        r.step().expect("layer 0");
+        let snap = r.suspend().expect("suspend");
+        // An epoch sweep runs while the context is parked (recover() is
+        // the public path that always sweeps).
+        r.recover().expect("sweep over clean state");
+        assert_eq!(r.epoch(), 1);
+        assert!(matches!(
+            r.resume(&snap),
+            Err(RunError::Version(VersionError::StaleSnapshot {
+                snapshot: 0,
+                current: 1
+            }))
+        ));
+        assert!(r.is_poisoned(), "attempted rollback quarantines");
+        // A fresh same-epoch snapshot round-trips after recovery.
+        r.recover().expect("recover again");
+        let fresh = r.suspend().expect("suspend");
+        r.resume(&fresh).expect("same-epoch resume");
+    }
+
+    #[test]
+    fn poisoned_context_cannot_suspend() {
+        let mut r = runner("df");
+        r.step().expect("layer 0");
+        let victim = r.layout().outputs[0].addr;
+        r.memory_mut()
+            .dram_mut()
+            .block_mut(victim)
+            .expect("written")[0] ^= 1;
+        assert!(matches!(r.step(), Err(RunError::Integrity(_))));
+        assert!(matches!(r.suspend(), Err(RunError::Poisoned)));
     }
 
     // ---- recovery: retry + epoch sweep ----
@@ -1045,6 +1181,69 @@ mod proptests {
                 let stats = limited.recovery_stats().expect("enabled");
                 prop_assert!(stats.sweeps >= 1, "limit {} < passes {} must sweep", limit, passes);
                 prop_assert!(stats.sweep_cycles > 0);
+            }
+        }
+
+        /// Suspend→resume at any subset of layer boundaries is
+        /// observation-equivalent to an unpreempted run: identical output
+        /// bytes, identical version-table contents and peaks, identical
+        /// epoch, and (with recovery enabled) identical recovery stats —
+        /// preemption is free at the functional level; its cycle cost
+        /// lives entirely in the serving layer's switch accounting.
+        #[test]
+        fn suspend_resume_is_observation_equivalent(
+            seed in any::<u64>(),
+            boundary_mask in any::<u8>(),
+            double_suspend in any::<bool>(),
+            with_recovery in any::<bool>(),
+        ) {
+            let model = tiny();
+            let build = || {
+                let mut r = SecureRunner::with_memory(
+                    &model,
+                    TreelessMemory::new(Key128::derive(b"pt-preempt")),
+                    seed,
+                );
+                if with_recovery {
+                    r.enable_recovery(RetryPolicy::default(), treeless_engine());
+                }
+                r
+            };
+            let mut straight = build();
+            straight.run().expect("unpreempted run");
+            let want = straight.read_output().expect("verifies");
+
+            let mut r = build();
+            let mut boundary = 0u8;
+            while !r.is_finished() {
+                if boundary_mask & (1 << (boundary % 8)) != 0 {
+                    let snap = r.suspend().expect("boundary suspend");
+                    if double_suspend {
+                        // Suspends are read-only: taking two is harmless.
+                        let again = r.suspend().expect("second suspend");
+                        prop_assert_eq!(again.table_bytes(), snap.table_bytes());
+                    }
+                    r.resume(&snap).expect("same-epoch resume");
+                }
+                r.step().expect("clean step");
+                boundary += 1;
+            }
+            prop_assert_eq!(r.read_output().expect("verifies"), want);
+            prop_assert_eq!(r.epoch(), straight.epoch());
+            prop_assert_eq!(
+                r.version_table().storage_bytes(),
+                straight.version_table().storage_bytes()
+            );
+            prop_assert_eq!(
+                r.version_table().peak_storage_bytes(),
+                straight.version_table().peak_storage_bytes()
+            );
+            prop_assert_eq!(r.recovery_stats(), straight.recovery_stats());
+            for t in r.live_tensors() {
+                prop_assert_eq!(
+                    r.version_table().version(t.id, 0),
+                    straight.version_table().version(t.id, 0)
+                );
             }
         }
 

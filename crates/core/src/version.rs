@@ -61,6 +61,18 @@ pub enum VersionError {
     /// window the versions exist to close — so the bump is refused and the
     /// tensor must be re-keyed or retired.
     Exhausted(TensorId),
+    /// A [`VersionSnapshot`] taken in an earlier re-encryption epoch was
+    /// offered for restore after a sweep ran. Restoring it would rewind
+    /// every entry to pre-sweep values while the data region is already
+    /// re-keyed and rewritten at version 1 — the replay hazard the
+    /// epoch-tagging exists to close — so the restore is refused and the
+    /// table is left untouched.
+    StaleSnapshot {
+        /// Epoch the snapshot was taken in.
+        snapshot: u64,
+        /// The context's current epoch.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for VersionError {
@@ -78,11 +90,52 @@ impl std::fmt::Display for VersionError {
             VersionError::Exhausted(t) => {
                 write!(f, "tensor {t} version counter is exhausted (would wrap)")
             }
+            VersionError::StaleSnapshot { snapshot, current } => {
+                write!(
+                    f,
+                    "snapshot from epoch {snapshot} cannot restore into epoch {current} \
+                     (pre-sweep versions would rewind — replay hazard)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for VersionError {}
+
+/// A point-in-time copy of a context's version table, tagged with the
+/// re-encryption epoch it was taken in.
+///
+/// Context switches save the table through the fully-protected region and
+/// restore it when the context is re-scheduled. The epoch tag is what makes
+/// that safe against the sweep/preemption hazard: a snapshot taken before
+/// an epoch sweep holds versions whose MAC bindings died with the old keys,
+/// so [`VersionTable::restore`] refuses it with
+/// [`VersionError::StaleSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionSnapshot {
+    entries: BTreeMap<TensorId, VersionEntry>,
+    limit: u64,
+    epoch: u64,
+}
+
+impl VersionSnapshot {
+    /// The re-encryption epoch this snapshot was taken in.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bytes of protected-region storage the snapshot occupies — the DMA
+    /// payload a context switch moves for the version-table half of the
+    /// saved state.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        // tnpu-lint: allow(float-accumulation) — u64 sum over a BTreeMap:
+        // integral and iterated in key order, so the order cannot matter.
+        self.entries.values().map(VersionEntry::bytes).sum()
+    }
+}
 
 /// The version table of one NPU context.
 ///
@@ -317,6 +370,46 @@ impl VersionTable {
         self.entries.len()
     }
 
+    /// Capture the table for a context switch, tagging it with the caller's
+    /// current re-encryption `epoch`.
+    #[must_use]
+    pub fn snapshot(&self, epoch: u64) -> VersionSnapshot {
+        VersionSnapshot {
+            entries: self.entries.clone(),
+            limit: self.limit,
+            epoch,
+        }
+    }
+
+    /// Restore a snapshot taken at [`snapshot`](VersionTable::snapshot)
+    /// time, re-validating its epoch tag against the context's
+    /// `current_epoch`.
+    ///
+    /// On success the table's entries and limit are replaced wholesale
+    /// (peak accounting stays monotone: a restore never lowers the peak).
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::StaleSnapshot`] if an epoch sweep ran after the
+    /// snapshot was taken — restoring pre-sweep versions under post-sweep
+    /// keys would re-open the replay window. The table is left untouched.
+    pub fn restore(
+        &mut self,
+        snapshot: &VersionSnapshot,
+        current_epoch: u64,
+    ) -> Result<(), VersionError> {
+        if snapshot.epoch != current_epoch {
+            return Err(VersionError::StaleSnapshot {
+                snapshot: snapshot.epoch,
+                current: current_epoch,
+            });
+        }
+        self.entries = snapshot.entries.clone();
+        self.limit = snapshot.limit;
+        self.update_peak();
+        Ok(())
+    }
+
     fn update_peak(&mut self) {
         self.peak_bytes = self.peak_bytes.max(self.storage_bytes());
     }
@@ -504,6 +597,73 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_roundtrips() {
+        let mut t = table_with(0);
+        t.register(1);
+        t.bump(0).expect("bump");
+        t.expand(1, 3).expect("expand");
+        t.bump_tile(1, 2).expect("bump tile");
+        let snap = t.snapshot(0);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.bytes(), t.storage_bytes());
+        // Mutate past the snapshot, then restore.
+        t.bump_tile(1, 0).expect("bump tile");
+        t.bump_tile(1, 1).expect("bump tile");
+        t.restore(&snap, 0).expect("same-epoch restore");
+        assert_eq!(t.version(0, 0), Ok(1));
+        assert_eq!(t.version(1, 0), Ok(0));
+        assert_eq!(t.version(1, 2), Ok(1));
+    }
+
+    #[test]
+    fn stale_snapshot_is_refused_and_table_untouched() {
+        // The sweep/preemption hazard: snapshot at epoch 0, sweep to
+        // epoch 1, restore must be a typed refusal — not a silent rewind
+        // of post-sweep versions.
+        let mut t = table_with(0);
+        t.bump(0).expect("bump");
+        t.bump(0).expect("bump");
+        let snap = t.snapshot(0);
+        t.reset_epoch(); // the version half of an epoch sweep
+        t.bump(0).expect("post-sweep rewrite");
+        assert_eq!(
+            t.restore(&snap, 1),
+            Err(VersionError::StaleSnapshot {
+                snapshot: 0,
+                current: 1
+            })
+        );
+        assert_eq!(t.version(0, 0), Ok(1), "refusal leaves the table alone");
+        assert!(t
+            .restore(&snap, 1)
+            .unwrap_err()
+            .to_string()
+            .contains("replay hazard"));
+    }
+
+    #[test]
+    fn snapshot_restore_carries_the_limit() {
+        let mut t = table_with(0);
+        t.set_limit(3);
+        let snap = t.snapshot(7);
+        let mut fresh = table_with(0);
+        fresh.restore(&snap, 7).expect("restore");
+        assert_eq!(fresh.limit(), 3);
+        assert_eq!(fresh.bump(0), Ok(1));
+    }
+
+    #[test]
+    fn restore_never_lowers_the_peak() {
+        let mut t = table_with(0);
+        t.expand(0, 64).expect("expand");
+        let big_peak = t.peak_storage_bytes();
+        let small = table_with(0).snapshot(0);
+        t.restore(&small, 0).expect("restore");
+        assert_eq!(t.storage_bytes(), ENTRY_BYTES);
+        assert_eq!(t.peak_storage_bytes(), big_peak, "peak stays monotone");
+    }
+
+    #[test]
     fn storage_accounting() {
         let mut t = VersionTable::new();
         for i in 0..10 {
@@ -594,6 +754,76 @@ mod proptests {
             // whole-tensor bump.
             prop_assert_eq!(table.storage_bytes(), ENTRY_BYTES);
             prop_assert_eq!(table.bump(0).expect("single again"), start + rounds + 1);
+        }
+
+        /// Snapshot/restore round-trips exactly under arbitrary
+        /// expand/bump/merge/sweep interleavings: whatever state the table
+        /// reached when the snapshot was taken (and whatever epoch count
+        /// the sweeps produced), restoring with the matching epoch
+        /// reproduces every entry and the storage footprint, and restoring
+        /// after one more sweep is a typed refusal that leaves the mutated
+        /// table untouched.
+        #[test]
+        fn snapshot_restore_roundtrips_under_any_interleaving(
+            pre in prop::collection::vec((0u8..5, 0u32..TENSORS, 0u32..12), 0..48),
+            post in prop::collection::vec((0u8..5, 0u32..TENSORS, 0u32..12), 1..48),
+        ) {
+            let mut table = VersionTable::new();
+            for tensor in 0..TENSORS {
+                table.register(tensor);
+            }
+            let mut epoch = 0u64;
+            let apply = |table: &mut VersionTable, epoch: &mut u64,
+                             (op, tensor, arg): (u8, u32, u32)| {
+                let _ = match op {
+                    0 => table.expand(tensor, arg).map(|()| 0),
+                    1 => table.bump_tile(tensor, arg),
+                    2 => table.merge(tensor),
+                    3 => table.bump(tensor),
+                    _ => {
+                        table.reset_epoch();
+                        *epoch += 1;
+                        Ok(0)
+                    }
+                };
+            };
+            for op in pre {
+                apply(&mut table, &mut epoch, op);
+            }
+            let snap = table.snapshot(epoch);
+            let frozen: Vec<(TensorId, Result<u64, VersionError>, bool)> = (0..TENSORS)
+                .map(|t| (t, table.version(t, 0), table.is_expanded(t).unwrap()))
+                .collect();
+            let frozen_storage = table.storage_bytes();
+            prop_assert_eq!(snap.bytes(), frozen_storage);
+
+            for op in post {
+                apply(&mut table, &mut epoch, op);
+            }
+            let sweeps_ran = epoch != snap.epoch();
+            if sweeps_ran {
+                // Post-snapshot sweeps: the restore must refuse and leave
+                // the mutated table exactly as it was.
+                let before = table.clone();
+                prop_assert_eq!(
+                    table.restore(&snap, epoch),
+                    Err(VersionError::StaleSnapshot {
+                        snapshot: snap.epoch(),
+                        current: epoch
+                    })
+                );
+                for t in 0..TENSORS {
+                    prop_assert_eq!(table.version(t, 0), before.version(t, 0));
+                }
+                prop_assert_eq!(table.storage_bytes(), before.storage_bytes());
+            } else {
+                table.restore(&snap, epoch).expect("same-epoch restore");
+                for (t, version, expanded) in frozen {
+                    prop_assert_eq!(table.version(t, 0), version);
+                    prop_assert_eq!(table.is_expanded(t).unwrap(), expanded);
+                }
+                prop_assert_eq!(table.storage_bytes(), frozen_storage);
+            }
         }
 
         /// Starting anywhere in the last few values below `u64::MAX`,

@@ -46,6 +46,12 @@ impl ProtectionEngine for EncryptOnlyEngine {
         self.config.xts_latency
     }
 
+    fn context_state_bytes(&self) -> u64 {
+        // Per-context engine state: the XTS key pair alone (no MACs, no
+        // versions, nothing else to save).
+        32
+    }
+
     fn stats(&self) -> EngineStats {
         self.stats.clone()
     }

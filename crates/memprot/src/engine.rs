@@ -11,6 +11,7 @@
 
 use crate::SchemeKind;
 use tnpu_sim::cache::CacheStats;
+use tnpu_sim::dram::{BandwidthModel, DramTiming};
 use tnpu_sim::stats::{EventCounters, TrafficStats};
 use tnpu_sim::{Addr, BlockRun, Cycles};
 
@@ -42,6 +43,29 @@ impl AccessCost {
         self.meta_bytes += other.meta_bytes;
         self.independent_misses += other.independent_misses;
         self.serial_misses += other.serial_misses;
+    }
+
+    /// Cycles one DMA beat of `data_bytes` takes under this cost — the
+    /// formula every consumer of the cycle model (the NPU controller, the
+    /// recovery layer, the serving layer's context-switch accounting)
+    /// charges: transfer time for data plus metadata, DRAM latency, the
+    /// engine's `pipeline` latency, and the exposed serial-miss stalls.
+    /// Saturating throughout, so a hostile cost report cannot wrap.
+    #[must_use]
+    pub fn beat_cycles(
+        &self,
+        data_bytes: u64,
+        bandwidth: &BandwidthModel,
+        dram: &DramTiming,
+        pipeline: Cycles,
+    ) -> u64 {
+        let bytes = data_bytes.saturating_add(self.meta_bytes);
+        bandwidth
+            .transfer_time(bytes)
+            .0
+            .saturating_add(dram.latency.0)
+            .saturating_add(pipeline.0)
+            .saturating_add(dram.stall(self.serial_misses, 0).0)
     }
 }
 
@@ -143,6 +167,15 @@ pub trait ProtectionEngine: Send {
     /// Clear statistics (cache contents are preserved — warm caches carry
     /// over between layers, as in the real hardware).
     fn reset_stats(&mut self);
+
+    /// Bytes of on-chip engine state a context switch must save and
+    /// restore through the fully-protected region: region keys, NELRANGE
+    /// bounds, tree roots — whatever this scheme keeps in the engine that
+    /// is *per-context* rather than per-block. Zero (the default) means
+    /// the scheme has no secure per-context state to move (unsecure).
+    fn context_state_bytes(&self) -> u64 {
+        0
+    }
 
     /// Drop all metadata-cache contents, writing dirty lines back to DRAM.
     /// The write-back traffic is recorded in the engine's statistics and

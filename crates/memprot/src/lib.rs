@@ -121,4 +121,34 @@ mod tests {
             assert_eq!(build_engine(kind, &cfg).scheme(), kind);
         }
     }
+
+    #[test]
+    fn context_state_scales_with_protection() {
+        // The per-context engine state a context switch must move: zero
+        // for unsecure, keys-only for encrypt-only, keys + root or keys +
+        // NELRANGE for the integrity schemes.
+        let cfg = ProtectionConfig::paper_default();
+        let bytes = |kind| build_engine(kind, &cfg).context_state_bytes();
+        assert_eq!(bytes(SchemeKind::Unsecure), 0);
+        assert_eq!(bytes(SchemeKind::EncryptOnly), 32);
+        assert_eq!(bytes(SchemeKind::TreeBased), 48);
+        assert_eq!(bytes(SchemeKind::Treeless), 64);
+    }
+
+    #[test]
+    fn beat_cycles_prices_data_metadata_latency_and_stalls() {
+        use tnpu_sim::dram::{BandwidthModel, DramTiming};
+        let bw = BandwidthModel::bytes_per_cycle(22, 1);
+        let dram = DramTiming::paper_default();
+        let free = AccessCost::FREE.beat_cycles(64, &bw, &dram, tnpu_sim::Cycles::ZERO);
+        // 64 B at 22 B/cyc (3 cycles, rounded up) + 100 DRAM latency.
+        assert_eq!(free, 103);
+        let costly = AccessCost {
+            meta_bytes: 64,
+            independent_misses: 0,
+            serial_misses: 2,
+        }
+        .beat_cycles(64, &bw, &dram, tnpu_sim::Cycles(13));
+        assert!(costly > free + 13, "metadata and stalls are visible");
+    }
 }

@@ -409,6 +409,12 @@ impl ProtectionEngine for TreeBasedEngine {
         self.config.otp_latency
     }
 
+    fn context_state_bytes(&self) -> u64 {
+        // Per-context engine state: the on-chip tree root (32 B hash) and
+        // the counter-mode encryption key (16 B).
+        48
+    }
+
     fn stats(&self) -> EngineStats {
         EngineStats {
             traffic: self.traffic,

@@ -223,6 +223,13 @@ impl ProtectionEngine for TreelessEngine {
         self.config.xts_latency
     }
 
+    fn context_state_bytes(&self) -> u64 {
+        // Per-context engine state the switch moves through the fully
+        // protected region: the tree-less region's XTS key pair (32 B),
+        // the MAC key (16 B), and the NELRANGE base/bound registers (16 B).
+        64
+    }
+
     fn stats(&self) -> EngineStats {
         let inner = self.inner.stats();
         let mut traffic = self.traffic;

@@ -178,6 +178,21 @@ impl EnclaveManager {
         Ok(())
     }
 
+    /// Tear an enclave down, removing it from the manager and returning it
+    /// so the caller can release its EEPCM frames and unmap its pages —
+    /// the manager does not own the EEPCM/page table, so the cleanup is
+    /// the caller's half of the contract. Once destroyed, `get` returns
+    /// `None` and attestation/translation for the id must fail.
+    ///
+    /// # Errors
+    ///
+    /// [`EnclaveError::NoSuchEnclave`] if unknown (or already destroyed).
+    pub fn destroy(&mut self, id: EnclaveId) -> Result<Enclave, EnclaveError> {
+        self.enclaves
+            .remove(&id.0)
+            .ok_or(EnclaveError::NoSuchEnclave(id))
+    }
+
     /// Finish initialization: freezes the measurement.
     ///
     /// # Errors
@@ -317,6 +332,44 @@ mod tests {
             ),
             Err(EnclaveError::PageBusy(Ppn(10)))
         );
+    }
+
+    #[test]
+    fn destroy_removes_and_returns_pages_for_cleanup() {
+        let (mut mgr, mut eepcm, mut pt, id) = setup();
+        mgr.add_page(
+            &mut eepcm,
+            &mut pt,
+            id,
+            Vpn(1),
+            Ppn(10),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"",
+        )
+        .expect("add");
+        let dead = mgr.destroy(id).expect("destroy");
+        assert_eq!(dead.pages(), &[(Vpn(1), Ppn(10), RegionKind::Treeless)]);
+        assert!(mgr.get(id).is_none(), "destroyed enclave is gone");
+        assert!(matches!(
+            mgr.destroy(id),
+            Err(EnclaveError::NoSuchEnclave(e)) if e == id
+        ));
+        // The caller's half: release the frame, after which it is
+        // assignable again.
+        eepcm.release(Ppn(10), id).expect("release");
+        let id2 = mgr.create();
+        mgr.add_page(
+            &mut eepcm,
+            &mut pt,
+            id2,
+            Vpn(7),
+            Ppn(10),
+            RegionKind::Treeless,
+            Perms::RW,
+            b"",
+        )
+        .expect("frame reusable after release");
     }
 
     #[test]

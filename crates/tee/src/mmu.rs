@@ -130,6 +130,20 @@ impl Mmu {
         Ok(ppn)
     }
 
+    /// Re-point this MMU at a new owning enclave (a context switch on the
+    /// NPU this IOMMU fronts).
+    ///
+    /// Deliberately does **not** touch the TLB: the ownership register and
+    /// the TLB array are distinct hardware state, and the shoot-down is a
+    /// separate, explicit step the driver must issue ([`flush_tlb`]).
+    /// Skipping it leaves translations validated for the previous tenant
+    /// live — the stale-TLB window the session teardown path must close.
+    ///
+    /// [`flush_tlb`]: Mmu::flush_tlb
+    pub fn assign(&mut self, owner: EnclaveId) {
+        self.owner = owner;
+    }
+
     /// Invalidate the whole TLB (context switch / page release — the OS
     /// must shoot down stale validated entries; the hardware enforces this
     /// on EEPCM state transitions).
@@ -235,6 +249,32 @@ mod tests {
         assert!(matches!(
             mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
             Err(AccessError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn assign_reowns_but_keeps_the_tlb() {
+        // The ownership register and the TLB are distinct state: re-owning
+        // without a shoot-down leaves the old tenant's validated
+        // translations live. This is the raw material of the stale-TLB
+        // window; the driver teardown path must pair assign with flush_tlb.
+        let (pt, eepcm, mut mmu) = setup();
+        mmu.translate(&pt, &eepcm, Vpn(1), Access::Read)
+            .expect("fill for E1");
+        mmu.assign(E2);
+        assert_eq!(mmu.owner(), E2);
+        assert!(mmu.cached(Vpn(1)), "assign alone must not flush");
+        // The stale hit still serves E1's frame to the new owner.
+        assert_eq!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Ok(Ppn(100))
+        );
+        mmu.flush_tlb();
+        // After the shoot-down, the walk re-validates — and E2 does not
+        // own Ppn(100), so the stale frame is unreachable.
+        assert!(matches!(
+            mmu.translate(&pt, &eepcm, Vpn(1), Access::Read),
+            Err(AccessError::WrongOwner { .. })
         ));
     }
 

@@ -21,7 +21,7 @@ fn boot_attest_simulate_verify() {
 
     // 2. Remote attestation round.
     let nonce = [0x5au8; 16];
-    let report = session.attest(&ctx, nonce);
+    let report = session.attest(&ctx, nonce).expect("live context attests");
     assert!(session.verify(&report, &ctx.measurement, &nonce));
 
     // 3. The IOMMU serves the tensor range; the driver takes commands.
