@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint attacks faults serve check bench
+.PHONY: build test fmt clippy lint lint-sarif attacks faults serve check bench
 
 build:
 	cargo build --release --workspace --locked
@@ -15,9 +15,15 @@ clippy:
 	cargo clippy --workspace --all-targets --locked -- -D warnings
 
 # Workspace-policy linter (determinism / unit-safety / security-hygiene
-# rules); --deny-all turns every finding into a nonzero exit. See LINTS.md.
+# rules plus the call-graph semantic families); --deny-all turns every
+# finding into a nonzero exit and --deny-unused-allows fails on stale
+# suppression comments. See LINTS.md.
 lint:
-	cargo run -p tnpu-lint --release --locked -- --deny-all
+	cargo run -p tnpu-lint --release --locked -- --deny-all --deny-unused-allows
+
+# SARIF 2.1.0 report for code-scanning upload (written to tnpu-lint.sarif).
+lint-sarif:
+	cargo run -p tnpu-lint --release --locked -- --format sarif > tnpu-lint.sarif
 
 # Adversarial attack-injection matrix over the functional schemes;
 # --deny-undetected fails if any cell contradicts the paper's claims.

@@ -29,7 +29,7 @@
 use crate::sweep as pool;
 use crate::PoolReport;
 use tnpu_core::recovery::RetryPolicy;
-use tnpu_core::secure_runner::{RunError, SecureRunner};
+use tnpu_core::secure_runner::{sweep_clearable, RunError, SecureRunner};
 use tnpu_core::Scheme;
 use tnpu_crypto::Key128;
 use tnpu_memprot::faults::{FaultKind, FaultyMemory};
@@ -181,8 +181,15 @@ fn reference_outputs(model: &Model) -> Vec<Vec<u8>> {
 
 fn classify_error(e: &RunError) -> Resilience {
     match e {
+        // A verified read refused tampered data: detection doing its job.
         RunError::Integrity(_) => Resilience::Detected,
-        _ => Resilience::Aborted,
+        // With recovery enabled, version exhaustion is consumed by epoch
+        // sweeps inside the runner; any version error reaching the harness
+        // is a runner bug, like the rest of these — surfaced as Aborted so
+        // the matrix flags it instead of masking it.
+        RunError::Version(_) | RunError::Cpu(_) | RunError::Finished | RunError::Poisoned => {
+            Resilience::Aborted
+        }
     }
 }
 
@@ -230,18 +237,27 @@ pub fn run_cell(
         } else {
             Ok(())
         };
+        let mut clearable = false;
         let outcome = match started.and_then(|()| runner.run()) {
-            Err(e) => classify_error(&e),
+            Err(e) => {
+                clearable = sweep_clearable(&e);
+                classify_error(&e)
+            }
             Ok(_) => match runner.read_output() {
                 Ok(out) if out == *reference => Resilience::Recovered,
                 Ok(_) => Resilience::Corrupted,
-                Err(e) => classify_error(&e),
+                Err(e) => {
+                    clearable = sweep_clearable(&e);
+                    classify_error(&e)
+                }
             },
         };
-        if outcome == Resilience::Detected {
+        if outcome == Resilience::Detected && clearable {
             // Quarantine-and-continue: a sweep re-verifies and re-keys
             // everything intact. If the defect persists (stuck-at bit),
-            // the sweep reports it and the quarantine holds.
+            // the sweep reports it and the quarantine holds. Failures a
+            // sweep cannot clear (runner bugs) are left quarantined so
+            // they surface instead of being masked by recovery.
             let _ = runner.recover();
         }
         worst = worst.max(outcome);

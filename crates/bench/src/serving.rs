@@ -11,7 +11,7 @@
 use crate::sweep as pool;
 use crate::PoolReport;
 use tnpu_core::attacks::{run_cell_on, CellResult, Surface};
-use tnpu_core::context::stale_tlb_probe;
+use tnpu_core::context::{refusal_taxonomy_probe, stale_tlb_probe};
 use tnpu_core::serving::{simulate, ArrivalProcess, Policy, ServeReport, ServeSpec, TrafficMix};
 use tnpu_core::Scheme;
 use tnpu_memprot::adversary::AttackKind;
@@ -247,11 +247,16 @@ pub fn render_surfaces(cells: &[(String, Surface, CellResult)]) -> String {
     out
 }
 
-/// Whether every extended cell matches and the stale-TLB window is
-/// closed — the `--deny-undetected` gate.
+/// Whether every extended cell matches, the stale-TLB window is closed,
+/// and every session misuse is refused by the right layer with the right
+/// [`tnpu_core::context::SessionError`] variant — the `--deny-undetected`
+/// gate.
 #[must_use]
 pub fn all_claims_hold(cells: &[(String, Surface, CellResult)]) -> bool {
-    cells.iter().all(|(_, _, c)| c.matches()) && stale_tlb_probe(true) && !stale_tlb_probe(false)
+    cells.iter().all(|(_, _, c)| c.matches())
+        && stale_tlb_probe(true)
+        && !stale_tlb_probe(false)
+        && refusal_taxonomy_probe()
 }
 
 #[cfg(test)]

@@ -153,6 +153,8 @@ impl CpuTensorAccess {
         assert_eq!(base.block_offset(), 0, "tensor base must be block aligned");
         for (i, chunk) in data.chunks(BLOCK_SIZE).enumerate() {
             for (off, &b) in chunk.iter().enumerate() {
+                // tnpu-lint: allow(panic-path) — `off < BLOCK_SIZE` by
+                // chunks(BLOCK_SIZE), and the staging buffer is one block.
                 self.ts_write_byte(off, b).expect("offset within buffer");
             }
             self.ts_write_block(mem, base.offset((i * BLOCK_SIZE) as u64), version);

@@ -110,6 +110,8 @@ impl RunSpec {
     #[must_use]
     pub fn build_trace(&self, npus: usize) -> TileTrace {
         let model = registry::model(&self.model)
+            // tnpu-lint: allow(panic-path) — documented "# Panics" contract:
+            // specs are built from registry names, so a miss is caller error.
             .unwrap_or_else(|| panic!("model {:?} is not registered", self.model));
         TileTrace::build_replicated(&model, &self.config, npus, self.seed())
     }
@@ -197,6 +199,8 @@ impl RunResult {
         self.reports
             .into_iter()
             .max_by_key(|r| r.total)
+            // tnpu-lint: allow(panic-path) — a RunResult is only built from
+            // an executed cell, which always has at least one NPU report.
             .expect("at least one NPU report")
     }
 }

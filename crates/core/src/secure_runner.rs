@@ -164,20 +164,27 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         let mut cpu = CpuTensorAccess::new();
 
         table.register(layout.input.id);
+        // tnpu-lint: allow(panic-path) — bump directly follows register.
         let input_version = table.bump(layout.input.id).expect("registered");
         let input_bytes = synth_bytes(seed, layout.input.id, layout.input.bytes);
         cpu.write_tensor(&mut mem, layout.input.addr, input_version, &input_bytes);
 
+        // ModelLayout::allocate builds one weights/outputs slot per model
+        // layer, so `li` always indexes both in the loop below.
         for li in 0..model.layers.len() {
+            // tnpu-lint: allow(panic-path) — layout slots are per-layer.
             if let Some(w) = layout.weights[li] {
+                // tnpu-lint: allow(panic-path) — layout slots are per-layer.
                 if model.layers[li].weights_shared_with.is_some() {
                     continue; // the owner already initialized it
                 }
                 table.register(w.id);
+                // tnpu-lint: allow(panic-path) — bump directly follows register.
                 let v = table.bump(w.id).expect("registered");
                 let bytes = synth_bytes(seed, w.id, w.bytes);
                 cpu.write_tensor(&mut mem, w.addr, v, &bytes);
             }
+            // tnpu-lint: allow(panic-path) — layout slots are per-layer.
             table.register(layout.outputs[li].id);
         }
         SecureRunner {
@@ -383,6 +390,7 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         // the middle of the tile loop would be unsound — half the tensor
         // written under each epoch.
         if self.recovery.is_some() {
+            // tnpu-lint: allow(panic-path) — `li` came from layers.get above.
             let out = self.layout.outputs[li];
             if !self.table.is_expanded(out.id)?
                 && self.table.version(out.id, 0)? >= self.table.limit()
@@ -397,6 +405,8 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         // mvin phase: verify every input under its expected version.
         match layer.kind {
             LayerKind::Embedding { vocab, dim, seq } => {
+                // tnpu-lint: allow(panic-path) — layout allocation gives
+                // every embedding layer a weight slot; `li` is in range.
                 let table = self.layout.weights[li].expect("embedding table");
                 blocks_read += self.ingest_gathers(&mut digest, table, vocab, dim, seq)?;
             }
@@ -404,6 +414,7 @@ impl<M: FunctionalMemory> SecureRunner<M> {
                 for src in &layer.inputs {
                     blocks_read += self.ingest_tensor(&mut digest, self.layout.source(*src))?;
                 }
+                // tnpu-lint: allow(panic-path) — `li` came from layers.get.
                 if let Some(w) = self.layout.weights[li] {
                     blocks_read += self.ingest_tensor(&mut digest, w)?;
                 }
@@ -412,6 +423,7 @@ impl<M: FunctionalMemory> SecureRunner<M> {
 
         // Compute + mvout phase: produce the output tile by tile, with
         // per-tile version bumps, then merge.
+        // tnpu-lint: allow(panic-path) — `li` came from layers.get above.
         let out = self.layout.outputs[li];
         let state = digest.finalize();
         let tiles = out.bytes.div_ceil(TILE_BYTES).max(1) as u32;
@@ -471,6 +483,8 @@ impl<M: FunctionalMemory> SecureRunner<M> {
     }
 
     fn read_output_inner(&mut self) -> Result<Vec<u8>, RunError> {
+        // tnpu-lint: allow(panic-path) — Model construction rejects empty
+        // layer lists, so `outputs` is never empty.
         let last = *self.layout.outputs.last().expect("models have layers");
         let version = self.table.version(last.id, 0)?;
         if self.recovery.is_some() {
@@ -501,6 +515,7 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         let mut out = vec![self.layout.input];
         for (li, w) in self.layout.weights.iter().enumerate() {
             if let Some(w) = w {
+                // tnpu-lint: allow(panic-path) — one weight slot per layer.
                 if self.model.layers[li].weights_shared_with.is_none() {
                     out.push(*w);
                 }
@@ -674,15 +689,42 @@ fn read_with_retry<M: FunctionalMemory>(
 
 /// Whether a re-fetch has any chance of clearing this error.
 fn retryable(e: &IntegrityError) -> bool {
-    matches!(
-        e,
-        IntegrityError::Stalled { .. }
-            | IntegrityError::TreeMismatch { .. }
-            | IntegrityError::MacMismatch {
-                cause: MismatchCause::Content,
-                ..
-            }
-    )
+    match e {
+        // Transient signatures: a dropped/stalled transfer or flipped bits
+        // may read back clean on the next attempt.
+        IntegrityError::Stalled { .. } | IntegrityError::TreeMismatch { .. } => true,
+        IntegrityError::MacMismatch { cause, .. } => matches!(cause, MismatchCause::Content),
+        // Reading a never-written block is an addressing bug in the
+        // runner, not a fault: every retry re-reads the same hole.
+        IntegrityError::NotWritten { .. } => false,
+    }
+}
+
+/// Whether [`SecureRunner::recover`]'s re-encryption epoch sweep can lift
+/// the failure that quarantined a context.
+///
+/// Integrity failures are sweep-clearable (re-verify, re-key, drop the
+/// abandoned inference), as are the version states a sweep resets —
+/// exhaustion and a raced stale snapshot. Version-management *misuse* and
+/// CPU access errors indicate runner bugs: sweeping would mask the defect,
+/// so callers should leave the quarantine in place and surface the error.
+#[must_use]
+pub fn sweep_clearable(e: &RunError) -> bool {
+    match e {
+        RunError::Integrity(_) => true,
+        RunError::Version(v) => match v {
+            // The sweep resets every version and re-snapshots: these two
+            // states are exactly what it exists to clear.
+            VersionError::Exhausted(_) | VersionError::StaleSnapshot { .. } => true,
+            // Misuse of the version table: a sweep cannot fix the runner.
+            VersionError::UnknownTensor(_)
+            | VersionError::NoSuchTile { .. }
+            | VersionError::TilesNotUniform(_)
+            | VersionError::AlreadyExpanded(_)
+            | VersionError::NotExpanded(_) => false,
+        },
+        RunError::Finished | RunError::Cpu(_) | RunError::Poisoned => false,
+    }
 }
 
 /// Deterministic synthetic tensor contents.
@@ -698,6 +740,7 @@ fn synth_bytes(seed: u64, tensor: u32, len: u64) -> Vec<u8> {
 
 fn seeded_from(state: &[u8; 32], tile: u32) -> SplitMix64 {
     let mut seed = [0u8; 8];
+    // tnpu-lint: allow(panic-path) — `[..8]` of a `[u8; 32]` parameter.
     seed.copy_from_slice(&state[..8]);
     SplitMix64::new(u64::from_le_bytes(seed) ^ u64::from(tile))
 }

@@ -276,6 +276,8 @@ impl VersionTable {
             Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
             Some(entry) => {
                 let VersionEntry::Single(v) = *entry else {
+                    // tnpu-lint: allow(panic-path) — the Expanded arm above
+                    // already returned; only Single can reach this binding.
                     unreachable!("expanded case handled above");
                 };
                 *entry = VersionEntry::Expanded(vec![v; tiles.max(1) as usize]);
@@ -323,6 +325,8 @@ impl VersionTable {
             Some(VersionEntry::Single(_)) => Err(VersionError::NotExpanded(tensor)),
             Some(entry) => {
                 let VersionEntry::Expanded(tiles) = &*entry else {
+                    // tnpu-lint: allow(panic-path) — the Single arm above
+                    // already returned; only Expanded can reach this binding.
                     unreachable!("single case handled above");
                 };
                 let first = tiles.first().copied().unwrap_or(0);

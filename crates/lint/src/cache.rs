@@ -1,0 +1,466 @@
+//! Content-hash parse cache for the lint driver.
+//!
+//! A warm `tnpu-lint` run should re-analyze only edited files: the per-file
+//! [`FileRecord`] (item-level parse, lexer side tables, and raw pre-filter
+//! lexical findings) is serialized to `target/tnpu-lint/<fnv64(path)>.rec`
+//! together with a hash of the file's path and content. Records are
+//! *configuration-independent* — scoping, allow filtering, and the
+//! workspace-wide semantic rules all run downstream of the record — so a
+//! `lint.toml` edit never invalidates the cache, only a source edit does.
+//!
+//! The on-disk format is a versioned, line-based text encoding (one tagged
+//! line per item; tab-separated fields). Anything unexpected — wrong format
+//! version, hash mismatch, malformed line, or a rule id the current binary
+//! does not know — makes the loader return `None` and the driver re-analyze
+//! from source, so stale caches can degrade speed but never correctness.
+
+use crate::lexer::LexedFile;
+use crate::parser::{
+    CallSite, Container, EnumItem, FnItem, PanicKind, PanicSite, ParsedFile, PathRef, UseItem,
+};
+use crate::rules;
+use crate::FileRecord;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump when the record encoding or any rule's message text changes shape;
+/// old records then reload as misses instead of mis-parsing.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// FNV-1a 64-bit — stable across runs and platforms, unlike `DefaultHasher`.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn content_hash(path: &str, src: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(path.len() + 1 + src.len());
+    bytes.extend_from_slice(path.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(src.as_bytes());
+    fnv64(&bytes)
+}
+
+fn record_path(dir: &Path, path: &str) -> PathBuf {
+    dir.join(format!("{:016x}.rec", fnv64(path.as_bytes())))
+}
+
+/// Load the cached record for `path`, or `None` on any miss or mismatch.
+#[must_use]
+pub fn load(dir: &Path, path: &str, src: &str) -> Option<FileRecord> {
+    let text = fs::read_to_string(record_path(dir, path)).ok()?;
+    deserialize(&text, content_hash(path, src))
+}
+
+/// Persist the record for `path`. Best-effort: errors are swallowed — a
+/// cache write failure must never fail the lint run.
+pub fn store(dir: &Path, path: &str, src: &str, record: &FileRecord) {
+    let final_path = record_path(dir, path);
+    // Unique temp name per process, then rename: concurrent lint runs may
+    // race on the same record, but each sees a whole file or none.
+    let tmp = dir.join(format!(
+        "{:016x}.tmp.{}",
+        fnv64(path.as_bytes()),
+        std::process::id()
+    ));
+    if fs::write(&tmp, serialize(record, content_hash(path, src))).is_ok() {
+        let _ = fs::rename(&tmp, &final_path);
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c == '\\' {
+            match it.next()? {
+                '\\' => out.push('\\'),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Join identifier segments; identifiers never contain `,` so the encoding
+/// is unambiguous. Empty list encodes as `-` (not a valid identifier).
+fn segs(v: &[String]) -> String {
+    if v.is_empty() {
+        "-".to_owned()
+    } else {
+        v.join(",")
+    }
+}
+
+fn unsegs(s: &str) -> Vec<String> {
+    if s == "-" {
+        Vec::new()
+    } else {
+        s.split(',').map(str::to_owned).collect()
+    }
+}
+
+fn opt(s: Option<&str>) -> &str {
+    s.unwrap_or("-")
+}
+
+fn unopt(s: &str) -> Option<String> {
+    if s == "-" {
+        None
+    } else {
+        Some(s.to_owned())
+    }
+}
+
+/// Serialize a record. Public for the cache-correctness test, which asserts
+/// a round-tripped record re-serializes byte-identically.
+#[must_use]
+pub fn serialize(record: &FileRecord, hash: u64) -> String {
+    use std::fmt::Write as _;
+    let mut o = String::new();
+    let _ = writeln!(o, "tnpu-lint-cache {CACHE_FORMAT}");
+    let _ = writeln!(o, "hash {hash:016x}");
+    for f in &record.parsed.fns {
+        let (ct, tr) = f.container.as_ref().map_or(("-", None), |c| {
+            (c.type_name.as_str(), c.trait_name.as_deref())
+        });
+        let _ = writeln!(
+            o,
+            "fn\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            f.name,
+            segs(&f.module),
+            ct,
+            opt(tr),
+            u8::from(f.is_pub),
+            f.line,
+            f.end_line
+        );
+        for c in &f.calls {
+            let _ = writeln!(
+                o,
+                "c\t{}\t{}\t{}",
+                c.line,
+                u8::from(c.method),
+                segs(&c.path)
+            );
+        }
+        for p in &f.panics {
+            let kind = match &p.kind {
+                PanicKind::Unwrap => "u".to_owned(),
+                PanicKind::Expect => "e".to_owned(),
+                PanicKind::Index => "i".to_owned(),
+                PanicKind::Macro(name) => format!("m:{name}"),
+            };
+            let _ = writeln!(o, "p\t{}\t{}", p.line, kind);
+        }
+    }
+    for e in &record.parsed.enums {
+        let _ = writeln!(o, "en\t{}\t{}\t{}", e.name, segs(&e.module), e.line);
+        for (name, line) in &e.variants {
+            let _ = writeln!(o, "va\t{name}\t{line}");
+        }
+    }
+    for u in &record.parsed.uses {
+        let _ = writeln!(
+            o,
+            "us\t{}\t{}\t{}\t{}",
+            segs(&u.module),
+            segs(&u.path),
+            u.alias,
+            u8::from(u.glob)
+        );
+    }
+    for (tag, refs) in [
+        ("pr", &record.parsed.pattern_refs),
+        ("xr", &record.parsed.expr_refs),
+    ] {
+        for r in refs {
+            let _ = writeln!(
+                o,
+                "{tag}\t{}\t{}\t{}\t{}",
+                r.line,
+                segs(&r.path),
+                segs(&r.module),
+                opt(r.container.as_deref())
+            );
+        }
+    }
+    for (rule, line, message) in &record.lexical {
+        let _ = writeln!(o, "lx\t{rule}\t{line}\t{}", esc(message));
+    }
+    for (line, ids) in &record.side.allows {
+        let ids: Vec<String> = ids.iter().cloned().collect();
+        let _ = writeln!(o, "al\t{line}\t{}", segs(&ids));
+    }
+    for line in &record.side.comment_lines {
+        let _ = writeln!(o, "cl\t{line}");
+    }
+    for line in &record.side.attr_lines {
+        let _ = writeln!(o, "at\t{line}");
+    }
+    for (a, b) in &record.side.test_regions {
+        let _ = writeln!(o, "tr\t{a}\t{b}");
+    }
+    o
+}
+
+/// Parse a serialized record, validating format version and content hash.
+/// Any irregularity yields `None` (treated as a cache miss).
+#[must_use]
+pub fn deserialize(text: &str, expect_hash: u64) -> Option<FileRecord> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let version = header.strip_prefix("tnpu-lint-cache ")?;
+    if version.parse::<u32>().ok()? != CACHE_FORMAT {
+        return None;
+    }
+    let hash_line = lines.next()?;
+    let hash = u64::from_str_radix(hash_line.strip_prefix("hash ")?, 16).ok()?;
+    if hash != expect_hash {
+        return None;
+    }
+
+    let mut parsed = ParsedFile::default();
+    let mut side = LexedFile::default();
+    let mut lexical = Vec::new();
+    for line in lines {
+        let mut f = line.split('\t');
+        let tag = f.next()?;
+        match tag {
+            "fn" => {
+                let name = f.next()?.to_owned();
+                let module = unsegs(f.next()?);
+                let type_name = f.next()?;
+                let trait_name = unopt(f.next()?);
+                let container = if type_name == "-" {
+                    None
+                } else {
+                    Some(Container {
+                        type_name: type_name.to_owned(),
+                        trait_name,
+                    })
+                };
+                let is_pub = f.next()? == "1";
+                let line = f.next()?.parse().ok()?;
+                let end_line = f.next()?.parse().ok()?;
+                parsed.fns.push(FnItem {
+                    name,
+                    module,
+                    container,
+                    is_pub,
+                    line,
+                    end_line,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "c" => {
+                let line = f.next()?.parse().ok()?;
+                let method = f.next()? == "1";
+                let path = unsegs(f.next()?);
+                parsed
+                    .fns
+                    .last_mut()?
+                    .calls
+                    .push(CallSite { line, path, method });
+            }
+            "p" => {
+                let line = f.next()?.parse().ok()?;
+                let kind = match f.next()? {
+                    "u" => PanicKind::Unwrap,
+                    "e" => PanicKind::Expect,
+                    "i" => PanicKind::Index,
+                    k => PanicKind::Macro(k.strip_prefix("m:")?.to_owned()),
+                };
+                parsed.fns.last_mut()?.panics.push(PanicSite { line, kind });
+            }
+            "en" => {
+                let name = f.next()?.to_owned();
+                let module = unsegs(f.next()?);
+                let line = f.next()?.parse().ok()?;
+                parsed.enums.push(EnumItem {
+                    name,
+                    module,
+                    line,
+                    variants: Vec::new(),
+                });
+            }
+            "va" => {
+                let name = f.next()?.to_owned();
+                let line = f.next()?.parse().ok()?;
+                parsed.enums.last_mut()?.variants.push((name, line));
+            }
+            "us" => {
+                parsed.uses.push(UseItem {
+                    module: unsegs(f.next()?),
+                    path: unsegs(f.next()?),
+                    alias: f.next()?.to_owned(),
+                    glob: f.next()? == "1",
+                });
+            }
+            "pr" | "xr" => {
+                let r = PathRef {
+                    line: f.next()?.parse().ok()?,
+                    path: unsegs(f.next()?),
+                    module: unsegs(f.next()?),
+                    container: unopt(f.next()?),
+                };
+                if tag == "pr" {
+                    parsed.pattern_refs.push(r);
+                } else {
+                    parsed.expr_refs.push(r);
+                }
+            }
+            "lx" => {
+                let rule = f.next()?.to_owned();
+                // A record written by a binary with different rules is
+                // stale even if it parses.
+                rules::rule_by_id(&rule)?;
+                let line = f.next()?.parse().ok()?;
+                let message = unesc(f.next()?)?;
+                lexical.push((rule, line, message));
+            }
+            "al" => {
+                let line = f.next()?.parse().ok()?;
+                side.allows
+                    .insert(line, unsegs(f.next()?).into_iter().collect());
+            }
+            "cl" => {
+                side.comment_lines.insert(f.next()?.parse().ok()?);
+            }
+            "at" => {
+                side.attr_lines.insert(f.next()?.parse().ok()?);
+            }
+            "tr" => {
+                let a = f.next()?.parse().ok()?;
+                let b = f.next()?.parse().ok()?;
+                side.test_regions.push((a, b));
+            }
+            _ => return None,
+        }
+        if f.next().is_some() {
+            return None; // trailing fields: not ours
+        }
+    }
+    Some(FileRecord {
+        parsed,
+        side,
+        lexical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    const SRC: &str = r#"
+// tnpu-lint: allow(wallclock) — fixture
+use std::collections::HashMap as Map;
+pub struct W;
+impl W {
+    pub fn go(&self, xs: &[u32]) -> u32 {
+        helper().unwrap();
+        xs[0]
+    }
+}
+fn helper() -> Option<u32> { None }
+pub enum E { A, B(u32) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { panic!("x"); }
+}
+"#;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let rec = analyze_source("crates/sim/src/x.rs", SRC);
+        let text = serialize(&rec, 42);
+        let back = deserialize(&text, 42).expect("roundtrips");
+        assert_eq!(back.parsed, rec.parsed);
+        assert_eq!(back.lexical, rec.lexical);
+        assert_eq!(back.side.allows, rec.side.allows);
+        assert_eq!(back.side.comment_lines, rec.side.comment_lines);
+        assert_eq!(back.side.attr_lines, rec.side.attr_lines);
+        assert_eq!(back.side.test_regions, rec.side.test_regions);
+        assert!(back.side.tokens.is_empty());
+        // Re-serialization is byte-identical: the encoding is canonical.
+        assert_eq!(serialize(&back, 42), text);
+    }
+
+    #[test]
+    fn hash_or_version_mismatch_is_a_miss() {
+        let rec = analyze_source("crates/sim/src/x.rs", SRC);
+        let text = serialize(&rec, 42);
+        assert!(deserialize(&text, 43).is_none());
+        let bumped = text.replacen("tnpu-lint-cache 1", "tnpu-lint-cache 999", 1);
+        assert!(deserialize(&bumped, 42).is_none());
+    }
+
+    #[test]
+    fn malformed_lines_and_unknown_rules_are_misses() {
+        let rec = analyze_source("crates/sim/src/x.rs", SRC);
+        let mut text = serialize(&rec, 42);
+        text.push_str("zz\t1\n");
+        assert!(deserialize(&text, 42).is_none());
+        let mut text2 = serialize(&rec, 42);
+        text2.push_str("lx\tno-such-rule\t3\tmsg\n");
+        assert!(deserialize(&text2, 42).is_none());
+    }
+
+    #[test]
+    fn store_then_load_hits_and_edits_miss() {
+        let dir = std::env::temp_dir().join(format!("tnpu-lint-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let rec = analyze_source("crates/sim/src/x.rs", SRC);
+        store(&dir, "crates/sim/src/x.rs", SRC, &rec);
+        assert!(load(&dir, "crates/sim/src/x.rs", SRC).is_some());
+        // Content change invalidates.
+        assert!(load(&dir, "crates/sim/src/x.rs", "fn other() {}").is_none());
+        // Different path hashes to a different record file.
+        assert!(load(&dir, "crates/sim/src/y.rs", SRC).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn message_escaping_roundtrips() {
+        assert_eq!(
+            unesc(&esc("a\tb\nc\\d\re")).as_deref(),
+            Some("a\tb\nc\\d\re")
+        );
+        assert!(unesc("bad\\q").is_none());
+    }
+}

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 /// Per-rule scope override from `lint.toml`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RuleOverride {
     /// `false` disables the rule entirely.
     pub enabled: Option<bool>,
@@ -22,7 +22,7 @@ pub struct RuleOverride {
 }
 
 /// Parsed configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
     /// Directories walked for `.rs` files, relative to the workspace root.
     pub roots: Vec<String>,
@@ -117,6 +117,33 @@ impl Config {
         }
         Ok(config)
     }
+
+    /// Render the configuration back to the `lint.toml` subset this module
+    /// parses — `Config::parse(&c.to_toml())` reproduces `c` exactly (the
+    /// round-trip the config tests pin down).
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let array = |items: &[String]| {
+            let quoted: Vec<String> = items.iter().map(|i| format!("{i:?}")).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let mut out = String::new();
+        out += &format!("roots = {}\n", array(&self.roots));
+        out += &format!("skip = {}\n", array(&self.skip));
+        for (rule, over) in &self.rules {
+            out += &format!("\n[rules.{rule}]\n");
+            if let Some(enabled) = over.enabled {
+                out += &format!("enabled = {enabled}\n");
+            }
+            if let Some(include) = &over.include {
+                out += &format!("include = {}\n", array(include));
+            }
+            if let Some(exclude) = &over.exclude {
+                out += &format!("exclude = {}\n", array(exclude));
+            }
+        }
+        out
+    }
 }
 
 fn err(line: usize, message: &str) -> ConfigError {
@@ -206,6 +233,33 @@ mod tests {
     fn rejects_unknown_keys() {
         assert!(Config::parse("bogus = 3\n").is_err());
         assert!(Config::parse("[general]\n").is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_to_toml() {
+        let mut c = Config::default();
+        c.rules.insert(
+            "panic-path".to_owned(),
+            RuleOverride {
+                enabled: Some(true),
+                include: None,
+                exclude: Some(vec!["crates/core/src/attacks.rs".to_owned()]),
+            },
+        );
+        c.rules.insert(
+            "wallclock".to_owned(),
+            RuleOverride {
+                enabled: Some(false),
+                include: Some(vec!["crates/sim".to_owned(), "crates/npu".to_owned()]),
+                exclude: None,
+            },
+        );
+        let rendered = c.to_toml();
+        let reparsed = Config::parse(&rendered).expect("rendered config parses");
+        assert_eq!(
+            reparsed, c,
+            "parse(to_toml(c)) must reproduce c:\n{rendered}"
+        );
     }
 
     #[test]

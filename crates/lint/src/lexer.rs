@@ -70,6 +70,10 @@ pub struct LexedFile {
     /// Lines holding `//` comments — allow comments extend through their
     /// contiguous comment block (multi-line justifications).
     pub comment_lines: BTreeSet<u32>,
+    /// Lines spanned by outer attributes (`#[derive(..)]`, `#[must_use]`,
+    /// ...) — an allow comment written above an attributed item must still
+    /// reach the item line below the attributes.
+    pub attr_lines: BTreeSet<u32>,
     /// Inclusive line ranges covered by `#[cfg(test)]` items.
     pub test_regions: Vec<(u32, u32)>,
 }
@@ -77,20 +81,40 @@ pub struct LexedFile {
 impl LexedFile {
     /// Whether `rule` is allowed on `line` by an escape-hatch comment: an
     /// allow comment covers its own line, the rest of its contiguous `//`
-    /// comment block, and the first line after the block (the code line the
-    /// justification is written for).
+    /// comment block, any attribute lines directly below the block, and the
+    /// first line after those (the code line the justification is written
+    /// for).
     #[must_use]
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows.iter().any(|(l, rules)| {
-            if !rules.contains(rule) || *l > line {
-                return false;
-            }
-            let mut end = *l;
-            while self.comment_lines.contains(&(end + 1)) {
-                end += 1;
-            }
-            *l == line || (*l <= line && line <= end + 1)
-        })
+        self.allow_line_for(rule, line).is_some()
+    }
+
+    /// Like [`is_allowed`], but returns the line of the allow comment that
+    /// fires, so the engine can record which allows were actually used
+    /// (`--deny-unused-allows`).
+    ///
+    /// [`is_allowed`]: LexedFile::is_allowed
+    #[must_use]
+    pub fn allow_line_for(&self, rule: &str, line: u32) -> Option<u32> {
+        self.allows
+            .iter()
+            .find(|(l, rules)| {
+                if !rules.contains(rule) || **l > line {
+                    return false;
+                }
+                let mut end = **l;
+                while self.comment_lines.contains(&(end + 1)) {
+                    end += 1;
+                }
+                // Attributes between the justification and its target
+                // (`#[derive(..)]`, `#[must_use]`) don't break coverage.
+                let mut target = end + 1;
+                while self.attr_lines.contains(&target) {
+                    target += 1;
+                }
+                **l <= line && line <= target
+            })
+            .map(|(l, _)| *l)
     }
 
     /// Whether `line` falls inside a `#[cfg(test)]` item.
@@ -124,7 +148,13 @@ pub fn lex(src: &str) -> LexedFile {
                     i += 1;
                 }
                 out.comment_lines.insert(line);
-                scan_allow_comment(&src[start..i], line, &mut out.allows);
+                // Doc comments (`///`, `//!`) are documentation, not
+                // directives: text *about* the allow syntax must not
+                // create an allow.
+                let text = &src[start..i];
+                if !text.starts_with("///") && !text.starts_with("//!") {
+                    scan_allow_comment(text, line, &mut out.allows);
+                }
             }
             b'/' if b.get(i + 1) == Some(&b'*') => {
                 // Nested block comment.
@@ -263,7 +293,46 @@ pub fn lex(src: &str) -> LexedFile {
     }
 
     find_test_regions(&out.tokens, &mut out.test_regions);
+    find_attr_lines(&out.tokens, &mut out.attr_lines);
     out
+}
+
+/// Record every line spanned by an attribute (`#[...]` / `#![...]`), so
+/// allow comments can reach past attributes to the item they annotate.
+fn find_attr_lines(tokens: &[Tok], attr_lines: &mut BTreeSet<u32>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].is_punct("[") {
+                depth += 1;
+            } else if tokens[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end_line = tokens.get(j).map_or(start_line, |t| t.line);
+        for line in start_line..=end_line {
+            attr_lines.insert(line);
+        }
+        i = j + 1;
+    }
 }
 
 /// Skip a `"..."` string starting at `b[i] == b'"'`; returns the index past
@@ -453,6 +522,46 @@ mod tests {
         assert!(f.is_allowed("rule-x", 2));
         assert!(f.is_allowed("rule-x", 3));
         assert!(!f.is_allowed("rule-x", 4));
+    }
+
+    #[test]
+    fn allow_comments_reach_past_attributes() {
+        let f = lex(
+            "// tnpu-lint: allow(rule-x) — the derive forces the name\n#[derive(Debug, Clone)]\n#[must_use]\nstruct S { m: HashMap }\nlet after = 1;",
+        );
+        assert!(
+            f.is_allowed("rule-x", 4),
+            "allow must reach past attributes"
+        );
+        assert!(
+            !f.is_allowed("rule-x", 5),
+            "coverage stops at the item line"
+        );
+    }
+
+    #[test]
+    fn allow_on_the_last_line_of_a_file_still_registers() {
+        // No trailing newline, comment is the final line: the allow must
+        // still parse and cover its own line (a trailing same-line allow).
+        let f = lex("let m = 1; // tnpu-lint: allow(rule-x) — trailing");
+        assert!(f.is_allowed("rule-x", 1));
+        let f = lex("let m = 1;\n// tnpu-lint: allow(rule-x) — dangling at EOF");
+        assert!(f.is_allowed("rule-x", 2));
+    }
+
+    #[test]
+    fn blank_line_between_allow_and_target_breaks_coverage() {
+        // Documented limitation: a blank line detaches the justification
+        // from its target. --deny-unused-allows makes this rot loudly.
+        let f = lex("// tnpu-lint: allow(rule-x) — detached\n\nlet m = 1;");
+        assert!(!f.is_allowed("rule-x", 3));
+    }
+
+    #[test]
+    fn allow_line_for_reports_the_firing_comment() {
+        let f = lex("// tnpu-lint: allow(rule-x) — why\nlet m = 1;\nlet n = 2;");
+        assert_eq!(f.allow_line_for("rule-x", 2), Some(1));
+        assert_eq!(f.allow_line_for("rule-x", 3), None);
     }
 
     #[test]

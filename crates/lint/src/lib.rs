@@ -1,7 +1,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 //! `tnpu-lint` — a dependency-free workspace linter for determinism,
-//! unit-safety, and security-model invariants.
+//! unit-safety, security-model, and robustness invariants.
 //!
 //! The paper's core claim (tree-less integrity with software-managed
 //! versions) and PR 2's byte-identical-sweep guarantee both rest on
@@ -12,20 +12,35 @@
 //!
 //! Pipeline: [`lexer`] tokenises a file (stripping comments and literal
 //! contents, recording `// tnpu-lint: allow(...)` comments and
-//! `#[cfg(test)]` regions), [`rules`] pattern-match the token stream, and
-//! the engine here walks the tree, scopes each rule by path (defaults
-//! overridable via `lint.toml`, parsed by [`config`]), and filters findings
-//! through allow comments and test-region exemptions.
+//! `#[cfg(test)]` regions), [`parser`] builds item-level structure on top
+//! of the tokens, [`rules`] pattern-match the token stream per file, and
+//! [`symbols`]/[`callgraph`] assemble a workspace-wide call graph for the
+//! semantic rule families (engine-bypass reachability, panic-path audit,
+//! error-variant consumption). The driver here analyzes files on a worker
+//! pool with a content-hash parse cache under `target/tnpu-lint/`, then
+//! scopes each finding by path (defaults overridable via `lint.toml`,
+//! parsed by [`config`]) and filters through allow comments and test-region
+//! exemptions — tracking which allow comments actually fired, so stale
+//! justifications can be denied (`--deny-unused-allows`).
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 use config::{path_under, Config};
-use rules::{Rule, RULES};
+use parser::ParsedFile;
+use rules::RULES;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -40,6 +55,15 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Line-independent identity used by `--baseline` ratcheting: moving a
+    /// finding within a file must not count as a new finding.
+    #[must_use]
+    pub fn baseline_key(&self) -> String {
+        format!("{}: {}: {}", self.path, self.rule, self.message)
+    }
+}
+
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -50,26 +74,125 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// Pseudo-rule id for `--deny-unused-allows` findings.
+pub const UNUSED_ALLOW_RULE: &str = "unused-allow";
+
+/// Everything the analysis extracts from one file, independent of
+/// configuration — scope filtering, allow filtering, and the semantic
+/// rules all run downstream of this, so a cached record stays valid across
+/// `lint.toml` edits.
+#[derive(Debug, Default)]
+pub struct FileRecord {
+    /// Item-level parse (functions, calls, enums, uses, path refs).
+    pub parsed: ParsedFile,
+    /// Lexer side tables (allow comments, comment/attr lines, test
+    /// regions); `tokens` is empty — records never carry the token stream.
+    pub side: lexer::LexedFile,
+    /// Raw lexical findings for *every* rule, pre scope/allow filtering:
+    /// `(rule id, line, message)`.
+    pub lexical: Vec<(String, u32, String)>,
+}
+
+/// One analyzed file.
+#[derive(Debug)]
+pub struct AnalyzedFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// Analysis record (parsed items + raw findings).
+    pub record: FileRecord,
+}
+
+/// Analyze one file's source: lex, parse, and run every lexical rule.
+#[must_use]
+pub fn analyze_source(path: &str, src: &str) -> FileRecord {
+    let mut lexed = lexer::lex(src);
+    let parsed = parser::parse(&lexed);
+    let mut lexical = Vec::new();
+    for rule in RULES {
+        for finding in (rule.check)(&lexed, path) {
+            lexical.push((rule.id.to_owned(), finding.line, finding.message));
+        }
+    }
+    lexed.tokens = Vec::new();
+    FileRecord {
+        parsed,
+        side: lexed,
+        lexical,
+    }
+}
+
 /// Reject `lint.toml` overrides naming rules that do not exist (typos would
-/// otherwise silently disable nothing).
+/// otherwise silently disable nothing), and malformed path patterns in any
+/// scope list (a glob that never matches would silently widen a rule).
 ///
 /// # Errors
 ///
-/// The unknown rule id.
+/// A pointed description of the offending entry.
 pub fn validate_config(config: &Config) -> Result<(), String> {
     for id in config.rules.keys() {
-        if rules::rule_by_id(id).is_none() {
+        if !rules::any_rule_by_id(id) {
             return Err(format!(
                 "lint.toml: unknown rule `{id}` (see --list-rules for the catalogue)"
             ));
         }
     }
+    for (what, list) in [("roots", &config.roots), ("skip", &config.skip)] {
+        for p in list {
+            validate_path_pattern(p)
+                .map_err(|e| format!("lint.toml: bad `{what}` entry `{p}`: {e}"))?;
+        }
+    }
+    for (id, over) in &config.rules {
+        for (what, list) in [("include", &over.include), ("exclude", &over.exclude)] {
+            if let Some(list) = list {
+                for p in list {
+                    validate_path_pattern(p).map_err(|e| {
+                        format!("lint.toml: bad `{what}` entry `{p}` for rule `{id}`: {e}")
+                    })?;
+                }
+            }
+        }
+    }
     Ok(())
 }
 
-/// Whether `rule` applies to `path` under `config`'s scope overrides.
-fn rule_applies(rule: &Rule, config: &Config, path: &str) -> bool {
-    let over = config.rules.get(rule.id);
+/// Scope patterns are plain path prefixes matched per component — not
+/// globs. Reject anything that can only be a mistake: glob metacharacters
+/// (which `path_under` would match literally, i.e. never), backslashes,
+/// absolute or `.`-relative paths, and empty components.
+fn validate_path_pattern(p: &str) -> Result<(), String> {
+    if p.is_empty() {
+        return Err("empty pattern".to_owned());
+    }
+    if let Some(c) = p.chars().find(|c| matches!(c, '*' | '?' | '[' | ']')) {
+        return Err(format!(
+            "`{c}` is a glob metacharacter, but scopes are literal path \
+             prefixes (write `crates/sim`, not `crates/sim/**`)"
+        ));
+    }
+    if p.contains('\\') {
+        return Err("use `/` separators".to_owned());
+    }
+    if p.starts_with('/') || p.ends_with('/') {
+        return Err("no leading/trailing `/` (patterns are workspace-relative)".to_owned());
+    }
+    if p.split('/').any(|c| c == "." || c == "..") {
+        return Err("no `.` or `..` components".to_owned());
+    }
+    Ok(())
+}
+
+/// Whether the rule `id` with the given scope defaults applies to `path`
+/// under `config`'s overrides. Shared by lexical and semantic rules.
+fn scope_applies(
+    config: &Config,
+    id: &str,
+    default_include: &[&str],
+    default_exclude: &[&str],
+    exempt_tests: bool,
+    path: &str,
+) -> bool {
+    let over = config.rules.get(id);
     if let Some(o) = over {
         if o.enabled == Some(false) {
             return false;
@@ -77,11 +200,11 @@ fn rule_applies(rule: &Rule, config: &Config, path: &str) -> bool {
     }
     let include: Vec<&str> = match over.and_then(|o| o.include.as_ref()) {
         Some(v) => v.iter().map(String::as_str).collect(),
-        None => rule.include.to_vec(),
+        None => default_include.to_vec(),
     };
     let exclude: Vec<&str> = match over.and_then(|o| o.exclude.as_ref()) {
         Some(v) => v.iter().map(String::as_str).collect(),
-        None => rule.exclude.to_vec(),
+        None => default_exclude.to_vec(),
     };
     if !include.is_empty() && !include.iter().any(|p| path_under(path, p)) {
         return false;
@@ -89,7 +212,7 @@ fn rule_applies(rule: &Rule, config: &Config, path: &str) -> bool {
     if exclude.iter().any(|p| path_under(path, p)) {
         return false;
     }
-    if rule.exempt_tests && in_test_dir(path) {
+    if exempt_tests && in_test_dir(path) {
         return false;
     }
     true
@@ -97,64 +220,357 @@ fn rule_applies(rule: &Rule, config: &Config, path: &str) -> bool {
 
 /// Whether `path` lives in a directory conventionally holding test,
 /// benchmark, example, or fixture code.
-fn in_test_dir(path: &str) -> bool {
+pub(crate) fn in_test_dir(path: &str) -> bool {
     path.split('/')
         .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
 }
 
-/// Lint one file's source as if it lived at workspace-relative `path`.
-///
-/// This is the core entry point; [`lint_root`] maps it over a tree, and the
-/// fixture tests call it directly with pretend paths.
+/// Driver statistics for `--stats` and the cache-correctness tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Total files linted.
+    pub files: usize,
+    /// Files whose records came from the parse cache.
+    pub cached: usize,
+    /// Files analyzed from source this run.
+    pub analyzed: usize,
+    /// Effective worker-thread count (after the `0` = auto default).
+    pub threads: usize,
+}
+
+/// A full lint run's output.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations, sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Allow comments that never suppressed anything ([`UNUSED_ALLOW_RULE`]
+    /// pseudo-diagnostics), sorted.
+    pub unused_allows: Vec<Diagnostic>,
+    /// Cache/parallelism statistics.
+    pub stats: DriverStats,
+}
+
+/// Apply scoping, test-region, and allow filtering to raw findings and run
+/// the semantic rules; track which allow comments fired.
 #[must_use]
-pub fn lint_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let mut out = Vec::new();
-    for rule in RULES {
-        if !rule_applies(rule, config, path) {
-            continue;
-        }
-        for finding in (rule.check)(&lexed, path) {
-            if rule.exempt_tests && lexed.in_test_region(finding.line) {
+pub fn report(files: &[AnalyzedFile], config: &Config) -> Report {
+    let mut diagnostics = Vec::new();
+    // (file index, allow-comment line, rule id) triples that suppressed at
+    // least one finding.
+    let mut used_allows: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+
+    // Lexical findings.
+    for (fi, file) in files.iter().enumerate() {
+        for (rule_id, line, message) in &file.record.lexical {
+            let Some(rule) = rules::rule_by_id(rule_id) else {
+                continue; // stale id: a cache record this old fails to load
+            };
+            if !scope_applies(
+                config,
+                rule.id,
+                rule.include,
+                rule.exclude,
+                rule.exempt_tests,
+                &file.path,
+            ) {
                 continue;
             }
-            if lexed.is_allowed(rule.id, finding.line) {
+            if rule.exempt_tests && file.record.side.in_test_region(*line) {
                 continue;
             }
-            out.push(Diagnostic {
-                path: path.to_owned(),
-                line: finding.line,
+            if let Some(allow_line) = file.record.side.allow_line_for(rule.id, *line) {
+                used_allows.insert((fi, allow_line, rule.id.to_owned()));
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                path: file.path.clone(),
+                line: *line,
                 rule: rule.id,
-                message: finding.message,
+                message: message.clone(),
             });
         }
     }
-    out
+
+    // Semantic findings (workspace-wide analysis).
+    let entries: Vec<symbols::FileEntry> = files
+        .iter()
+        .map(|f| symbols::FileEntry {
+            path: f.path.clone(),
+            parsed: f.record.parsed.clone(),
+            test_regions: f.record.side.test_regions.clone(),
+        })
+        .collect();
+    let ws = symbols::Workspace::build(entries);
+    for finding in callgraph::analyze(&ws) {
+        let file = &files[finding.file];
+        let rule = rules::sem_rule_by_id(finding.rule).expect("semantic rules are registered");
+        if !scope_applies(
+            config,
+            rule.id,
+            rule.include,
+            rule.exclude,
+            rule.exempt_tests,
+            &file.path,
+        ) {
+            continue;
+        }
+        if rule.exempt_tests && file.record.side.in_test_region(finding.line) {
+            continue;
+        }
+        if let Some(allow_line) = file.record.side.allow_line_for(rule.id, finding.line) {
+            used_allows.insert((finding.file, allow_line, rule.id.to_owned()));
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            path: file.path.clone(),
+            line: finding.line,
+            rule: rule.id,
+            message: finding.message,
+        });
+    }
+    diagnostics.sort();
+    diagnostics.dedup();
+
+    // Allow comments that never fired. Test dirs and `#[cfg(test)]`
+    // regions are exempt: test sources legitimately embed allow comments
+    // as *data* for the linter's own fixtures.
+    let mut unused_allows = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if in_test_dir(&file.path) {
+            continue;
+        }
+        for (line, rule_ids) in &file.record.side.allows {
+            if file.record.side.in_test_region(*line) {
+                continue;
+            }
+            for rule_id in rule_ids {
+                if !used_allows.contains(&(fi, *line, rule_id.clone())) {
+                    unused_allows.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: *line,
+                        rule: UNUSED_ALLOW_RULE,
+                        message: format!(
+                            "`allow({rule_id})` never suppressed a finding; the \
+                             justification is stale — remove the comment (or fix the \
+                             rule id)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    unused_allows.sort();
+
+    Report {
+        diagnostics,
+        unused_allows,
+        stats: DriverStats {
+            files: files.len(),
+            ..DriverStats::default()
+        },
+    }
 }
 
-/// Lint every `.rs` file under `root`'s configured roots, in deterministic
-/// (sorted-path) order.
+/// Lint a set of in-memory sources as one workspace (lexical + semantic
+/// rules, no cache). This is what the fixture tests drive.
+#[must_use]
+pub fn lint_sources(sources: &[(&str, &str)], config: &Config) -> Vec<Diagnostic> {
+    let files: Vec<AnalyzedFile> = sources
+        .iter()
+        .map(|(path, src)| AnalyzedFile {
+            path: (*path).to_owned(),
+            record: analyze_source(path, src),
+        })
+        .collect();
+    report(&files, config).diagnostics
+}
+
+/// Lint one file's source as if it lived at workspace-relative `path`.
+///
+/// Semantic rules see a one-file workspace: cross-file reachability cannot
+/// fire, which is exactly right for single-file lexical fixtures.
+#[must_use]
+pub fn lint_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    lint_sources(&[(path, src)], config)
+}
+
+/// Driver knobs for [`lint_root`].
+#[derive(Debug, Default, Clone)]
+pub struct DriverOptions {
+    /// Worker threads; `0` = one per CPU, capped at 8.
+    pub threads: usize,
+    /// Parse-cache directory (conventionally `<root>/target/tnpu-lint`);
+    /// `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl DriverOptions {
+    /// The conventional cache location for a workspace root.
+    #[must_use]
+    pub fn with_default_cache(root: &Path) -> Self {
+        DriverOptions {
+            threads: 0,
+            cache_dir: Some(root.join("target/tnpu-lint")),
+        }
+    }
+}
+
+/// Lint every `.rs` file under `root`'s configured roots: parallel
+/// analysis with the parse cache, then workspace-wide reporting. Output is
+/// deterministic (sorted) regardless of thread count or cache state.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the directory walk; unreadable files are
-/// errors, not skips, so CI cannot silently under-lint.
-pub fn lint_root(root: &Path, config: &Config) -> io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
+/// errors, not skips, so CI cannot silently under-lint. Cache read/write
+/// failures are never errors — the cache is best-effort.
+pub fn lint_root(root: &Path, config: &Config, opts: &DriverOptions) -> io::Result<Report> {
+    let mut paths = Vec::new();
     for top in &config.roots {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs_files(&dir, root, config, &mut files)?;
+            collect_rs_files(&dir, root, config, &mut paths)?;
         }
     }
-    files.sort();
-    let mut out = Vec::new();
-    for rel in files {
-        let src = fs::read_to_string(root.join(&rel))?;
-        out.extend(lint_file(&rel, &src, config));
+    paths.sort();
+    paths.dedup();
+    let sources: Vec<(String, String)> = paths
+        .into_iter()
+        .map(|rel| {
+            let src = fs::read_to_string(root.join(&rel))?;
+            Ok((rel, src))
+        })
+        .collect::<io::Result<_>>()?;
+
+    if let Some(dir) = &opts.cache_dir {
+        fs::create_dir_all(dir).ok();
     }
-    out.sort();
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8),
+        n => n,
+    }
+    .min(sources.len().max(1));
+
+    let slots: Mutex<Vec<Option<(FileRecord, bool)>>> =
+        Mutex::new((0..sources.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let analyze_one = |idx: usize| {
+        let (path, src) = &sources[idx];
+        let (record, reused) = match opts
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| cache::load(dir, path, src))
+        {
+            Some(record) => (record, true),
+            None => {
+                let record = analyze_source(path, src);
+                if let Some(dir) = opts.cache_dir.as_deref() {
+                    cache::store(dir, path, src, &record);
+                }
+                (record, false)
+            }
+        };
+        slots.lock().expect("no poisoned workers")[idx] = Some((record, reused));
+    };
+    if threads <= 1 {
+        for idx in 0..sources.len() {
+            analyze_one(idx);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= sources.len() {
+                        break;
+                    }
+                    analyze_one(idx);
+                });
+            }
+        });
+    }
+
+    let mut cached = 0usize;
+    let files: Vec<AnalyzedFile> = slots
+        .into_inner()
+        .expect("no poisoned workers")
+        .into_iter()
+        .zip(&sources)
+        .map(|(slot, (path, _))| {
+            let (record, reused) = slot.expect("every slot filled");
+            if reused {
+                cached += 1;
+            }
+            AnalyzedFile {
+                path: path.clone(),
+                record,
+            }
+        })
+        .collect();
+
+    let mut out = report(&files, config);
+    out.stats = DriverStats {
+        files: files.len(),
+        cached,
+        analyzed: files.len() - cached,
+        threads,
+    };
     Ok(out)
+}
+
+/// Load a baseline file (written by `--write-baseline`) into a multiset of
+/// [`Diagnostic::baseline_key`] entries.
+#[must_use]
+pub fn load_baseline(src: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *out.entry(line.to_owned()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Drop diagnostics already recorded in the baseline (multiset semantics:
+/// two identical findings need two baseline entries; a third is new).
+#[must_use]
+pub fn apply_baseline(
+    diagnostics: Vec<Diagnostic>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Diagnostic> {
+    let mut remaining = baseline.clone();
+    diagnostics
+        .into_iter()
+        .filter(|d| {
+            if let Some(n) = remaining.get_mut(&d.baseline_key()) {
+                if *n > 0 {
+                    *n -= 1;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// Render diagnostics as baseline-file content.
+#[must_use]
+pub fn render_baseline(diagnostics: &[Diagnostic]) -> String {
+    let mut lines: Vec<String> = diagnostics.iter().map(Diagnostic::baseline_key).collect();
+    lines.sort();
+    let mut out = String::from(
+        "# tnpu-lint baseline: known findings the ratchet tolerates (one per\n\
+         # line, line numbers ignored). Regenerate with --write-baseline.\n",
+    );
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
 }
 
 /// Recursively collect workspace-relative `.rs` paths, honouring the
@@ -258,6 +674,33 @@ mod tests {
     }
 
     #[test]
+    fn semantic_rule_ids_are_valid_config_keys() {
+        let cfg = Config::parse("[rules.engine-bypass]\nenabled = false\n").expect("parses");
+        assert!(validate_config(&cfg).is_ok());
+    }
+
+    #[test]
+    fn malformed_path_patterns_are_rejected_with_pointed_messages() {
+        for (toml, needle) in [
+            (
+                "[rules.wallclock]\ninclude = [\"crates/sim/**\"]\n",
+                "glob metacharacter",
+            ),
+            (
+                "[rules.wallclock]\nexclude = [\"/crates/sim\"]\n",
+                "leading/trailing",
+            ),
+            ("roots = [\"crates\\\\sim\"]\n", "separators"),
+            ("skip = [\"crates/../etc\"]\n", "components"),
+            ("roots = [\"\"]\n", "empty"),
+        ] {
+            let cfg = Config::parse(toml).expect("parses syntactically");
+            let err = validate_config(&cfg).expect_err(toml);
+            assert!(err.contains(needle), "`{toml}` -> `{err}`");
+        }
+    }
+
+    #[test]
     fn diagnostics_render_grep_friendly() {
         let d = Diagnostic {
             path: "crates/sim/src/x.rs".to_owned(),
@@ -266,5 +709,60 @@ mod tests {
             message: "m".to_owned(),
         };
         assert_eq!(d.to_string(), "crates/sim/src/x.rs:3: wallclock: m");
+    }
+
+    #[test]
+    fn unused_allows_are_reported_and_used_ones_are_not() {
+        let cfg = Config::default();
+        let src = "// tnpu-lint: allow(hash-collections) — used below\n\
+                   use std::collections::HashMap;\n\
+                   // tnpu-lint: allow(wallclock) — nothing here reads a clock\n\
+                   let x = 1;\n";
+        let files = vec![AnalyzedFile {
+            path: "crates/sim/src/x.rs".to_owned(),
+            record: analyze_source("crates/sim/src/x.rs", src),
+        }];
+        let rep = report(&files, &cfg);
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.unused_allows.len(), 1, "{:?}", rep.unused_allows);
+        assert_eq!(rep.unused_allows[0].line, 3);
+        assert!(rep.unused_allows[0].message.contains("wallclock"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_filters_known_findings_only() {
+        let old = vec![
+            Diagnostic {
+                path: "a.rs".into(),
+                line: 1,
+                rule: "wallclock",
+                message: "m".into(),
+            },
+            Diagnostic {
+                path: "a.rs".into(),
+                line: 9,
+                rule: "wallclock",
+                message: "m".into(),
+            },
+        ];
+        let baseline = load_baseline(&render_baseline(&old));
+        // Same two findings on different lines: both ratcheted away.
+        let moved: Vec<Diagnostic> = old
+            .iter()
+            .map(|d| Diagnostic {
+                line: d.line + 100,
+                ..d.clone()
+            })
+            .collect();
+        assert!(apply_baseline(moved.clone(), &baseline).is_empty());
+        // A third identical finding is new.
+        let mut three = moved;
+        three.push(Diagnostic {
+            path: "a.rs".into(),
+            line: 500,
+            rule: "wallclock",
+            message: "m".into(),
+        });
+        assert_eq!(apply_baseline(three, &baseline).len(), 1);
     }
 }

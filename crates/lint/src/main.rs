@@ -4,24 +4,39 @@
 //!
 //! ```text
 //! tnpu-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]
+//!           [--format text|sarif] [--baseline FILE] [--write-baseline FILE]
+//!           [--deny-unused-allows] [--threads N] [--no-cache] [--stats]
 //! ```
 //!
 //! Walks the workspace (default: the current directory), prints one
-//! `file:line: rule: message` diagnostic per violation to stdout, and a
-//! summary to stderr. Exit codes: `0` clean (or advisory mode), `1`
-//! violations under `--deny-all`, `2` usage/config/I/O error.
+//! `file:line: rule: message` diagnostic per violation to stdout (or a
+//! SARIF 2.1.0 log with `--format sarif`), and a summary to stderr. Exit
+//! codes: `0` clean (or advisory mode), `1` violations under `--deny-all`
+//! (or stale allows under `--deny-unused-allows`), `2` usage/config/I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 use tnpu_lint::config::Config;
-use tnpu_lint::rules::RULES;
-use tnpu_lint::{lint_root, validate_config};
+use tnpu_lint::rules::{RULES, SEM_RULES};
+use tnpu_lint::{
+    apply_baseline, lint_root, load_baseline, render_baseline, sarif, validate_config,
+    DriverOptions,
+};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut deny_all = false;
+    let mut deny_unused_allows = false;
     let mut list_rules = false;
+    let mut format_sarif = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut use_cache = true;
+    let mut stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,13 +49,38 @@ fn main() -> ExitCode {
                 Some(file) => config_path = Some(PathBuf::from(file)),
                 None => return usage_error("--config needs a file"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format_sarif = false,
+                Some("sarif") => format_sarif = true,
+                Some(other) => {
+                    return usage_error(&format!("--format must be text or sarif, not `{other}`"))
+                }
+                None => return usage_error("--format needs text or sarif"),
+            },
+            "--baseline" => match args.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => return usage_error("--baseline needs a file"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(file) => write_baseline = Some(PathBuf::from(file)),
+                None => return usage_error("--write-baseline needs a file"),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage_error("--threads needs a number"),
+            },
             "--deny-all" => deny_all = true,
+            "--deny-unused-allows" => deny_unused_allows = true,
+            "--no-cache" => use_cache = false,
+            "--stats" => stats = true,
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
                 println!(
                     "tnpu-lint [--root DIR] [--config FILE] [--deny-all] [--list-rules]\n\
-                     Workspace linter for determinism, unit-safety, and security invariants.\n\
-                     See LINTS.md for the rule catalogue."
+                     \x20         [--format text|sarif] [--baseline FILE] [--write-baseline FILE]\n\
+                     \x20         [--deny-unused-allows] [--threads N] [--no-cache] [--stats]\n\
+                     Workspace linter for determinism, unit-safety, security, and\n\
+                     robustness invariants. See LINTS.md for the rule catalogue."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -50,7 +90,10 @@ fn main() -> ExitCode {
 
     if list_rules {
         for rule in RULES {
-            println!("{:<20} [{}] {}", rule.id, rule.family.label(), rule.summary);
+            println!("{:<26} [{}] {}", rule.id, rule.family.label(), rule.summary);
+        }
+        for rule in SEM_RULES {
+            println!("{:<26} [{}] {}", rule.id, rule.family.label(), rule.summary);
         }
         return ExitCode::SUCCESS;
     }
@@ -72,26 +115,80 @@ fn main() -> ExitCode {
         return tool_error(&e);
     }
 
-    let diagnostics = match lint_root(&root, &config) {
-        Ok(d) => d,
-        Err(e) => return tool_error(&format!("walking {}: {e}", root.display())),
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(src) => Some(load_baseline(&src)),
+            Err(e) => return tool_error(&format!("{}: {e}", path.display())),
+        },
+        None => None,
     };
 
-    for d in &diagnostics {
-        println!("{d}");
+    let opts = DriverOptions {
+        threads,
+        cache_dir: use_cache.then(|| root.join("target/tnpu-lint")),
+    };
+    let started = Instant::now();
+    let report = match lint_root(&root, &config, &opts) {
+        Ok(r) => r,
+        Err(e) => return tool_error(&format!("walking {}: {e}", root.display())),
+    };
+    let elapsed = started.elapsed();
+
+    if let Some(path) = &write_baseline {
+        let content = render_baseline(&report.diagnostics);
+        if let Err(e) = std::fs::write(path, content) {
+            return tool_error(&format!("{}: {e}", path.display()));
+        }
+        eprintln!(
+            "tnpu-lint: wrote baseline with {} finding(s) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
-    if diagnostics.is_empty() {
-        eprintln!("tnpu-lint: clean ({} rules)", RULES.len());
+
+    let diagnostics = match &baseline {
+        Some(b) => apply_baseline(report.diagnostics, b),
+        None => report.diagnostics,
+    };
+    let mut shown = diagnostics;
+    if deny_unused_allows {
+        shown.extend(report.unused_allows.iter().cloned());
+        shown.sort();
+    }
+
+    if format_sarif {
+        print!("{}", sarif::render(&shown, deny_all));
+    } else {
+        for d in &shown {
+            println!("{d}");
+        }
+    }
+    if stats {
+        eprintln!(
+            "tnpu-lint: {} file(s): {} analyzed, {} from cache; {} thread(s); {:.1} ms",
+            report.stats.files,
+            report.stats.analyzed,
+            report.stats.cached,
+            report.stats.threads,
+            elapsed.as_secs_f64() * 1000.0
+        );
+    }
+
+    if shown.is_empty() {
+        eprintln!("tnpu-lint: clean ({} rules)", RULES.len() + SEM_RULES.len());
         ExitCode::SUCCESS
     } else {
         let files: std::collections::BTreeSet<&str> =
-            diagnostics.iter().map(|d| d.path.as_str()).collect();
+            shown.iter().map(|d| d.path.as_str()).collect();
         eprintln!(
             "tnpu-lint: {} violation(s) in {} file(s)",
-            diagnostics.len(),
+            shown.len(),
             files.len()
         );
-        if deny_all {
+        let stale_allows =
+            deny_unused_allows && shown.iter().any(|d| d.rule == tnpu_lint::UNUSED_ALLOW_RULE);
+        if deny_all || stale_allows {
             ExitCode::FAILURE
         } else {
             eprintln!("tnpu-lint: advisory mode (pass --deny-all to fail the build)");

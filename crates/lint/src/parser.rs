@@ -1,0 +1,1320 @@
+//! A hand-rolled item-level parser over the [`lexer`](crate::lexer) token
+//! stream.
+//!
+//! Same offline constraint as the lexer: no `syn`, no `proc-macro2` — the
+//! build container has no registry access, and the linter must build before
+//! anything else. The parser therefore recognises exactly the structure the
+//! semantic rules need, and nothing more:
+//!
+//! * **items** — `mod` nesting, `fn` definitions (free, inherent, trait
+//!   impl, trait default), `impl`/`trait` containers, `enum` declarations
+//!   with their variants, and `use` declarations including group imports,
+//!   glob imports, and `as` renames;
+//! * **call expressions** — path calls (`a::b::c(..)`, `helper(..)`,
+//!   turbofished), and method calls (`.m(..)`), attributed to the enclosing
+//!   function;
+//! * **panic sites** — `.unwrap()`, `.expect(..)`, the `panic!` macro
+//!   family, and slice-index expressions (`buf[i]` can panic);
+//! * **pattern contexts** — `match` arms, `if let`/`while let`, plain `let`
+//!   destructuring, `for` patterns, and `matches!`, so an `Enum::Variant`
+//!   path can be classified as *consumed* (named in a pattern) versus
+//!   *constructed* (named in an expression).
+//!
+//! The walker is deliberately tolerant: anything it does not understand is
+//! skipped token-by-token, so a parse never fails — it just yields fewer
+//! facts. The semantic rules are designed so that missing facts make them
+//! *quieter*, never wrong about code that parses cleanly.
+
+use crate::lexer::{LexedFile, Tok, TokKind};
+
+/// Everything the semantic analyses need from one source file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ParsedFile {
+    /// Function definitions (including trait-declaration signatures, which
+    /// carry no body but still name call-graph nodes).
+    pub fns: Vec<FnItem>,
+    /// Enum declarations with their variants.
+    pub enums: Vec<EnumItem>,
+    /// Flattened `use` declarations: one entry per imported leaf.
+    pub uses: Vec<UseItem>,
+    /// Multi-segment paths named in *pattern* position (match arms,
+    /// `if let`, `matches!`, `let` destructuring) — consumption evidence.
+    pub pattern_refs: Vec<PathRef>,
+    /// Multi-segment paths named in *expression* position that are not
+    /// calls (unit variants, struct-literal variants, associated consts) —
+    /// construction evidence.
+    pub expr_refs: Vec<PathRef>,
+}
+
+/// The impl/trait block a function or reference sits in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// The `Self` type: `X` in `impl X`, `impl T for X`, or the trait name
+    /// for methods declared/defaulted inside `trait T { .. }`.
+    pub type_name: String,
+    /// `T` in `impl T for X` (last path segment); `None` for inherent
+    /// impls and trait declarations.
+    pub trait_name: Option<String>,
+}
+
+/// One function definition (or trait-method signature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Inline-module path within the file (`mod a { mod b { fn f } }` →
+    /// `["a", "b"]`); the file's own module path is prepended later by the
+    /// symbol table.
+    pub module: Vec<String>,
+    /// Enclosing impl/trait block, if any.
+    pub container: Option<Container>,
+    /// Whether the item is `pub` (methods in trait blocks count as pub:
+    /// their visibility is the trait's).
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (or of the `;` for signatures).
+    pub end_line: u32,
+    /// Calls made from the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic-capable sites in the body, in source order.
+    pub panics: Vec<PanicSite>,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// 1-indexed line of the call.
+    pub line: u32,
+    /// Path segments as written (`["RawDram", "read_block"]`,
+    /// `["helper"]`); method calls carry their single bare name.
+    pub path: Vec<String>,
+    /// `true` for `.m(..)` receiver calls — the receiver's type is
+    /// unknown, so resolution is by name (documented over-approximation).
+    pub method: bool,
+}
+
+/// What kind of panic a [`PanicSite`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(..)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro(String),
+    /// Slice/array index expression (`buf[i]` panics out of range).
+    Index,
+}
+
+impl PanicKind {
+    /// Short diagnostic label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`".to_owned(),
+            PanicKind::Expect => "`.expect(..)`".to_owned(),
+            PanicKind::Macro(name) => format!("`{name}!`"),
+            PanicKind::Index => "slice indexing".to_owned(),
+        }
+    }
+}
+
+/// One panic-capable expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// 1-indexed line.
+    pub line: u32,
+    /// What can panic here.
+    pub kind: PanicKind,
+}
+
+/// One enum declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// Inline-module path within the file.
+    pub module: Vec<String>,
+    /// Line of the `enum` keyword.
+    pub line: u32,
+    /// `(variant name, line)` pairs in declaration order.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One imported leaf of a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    /// Inline-module path of the `use` within the file.
+    pub module: Vec<String>,
+    /// Full imported path (`["tnpu_memprot", "functional", "dram"]`).
+    pub path: Vec<String>,
+    /// Name the import binds locally (last segment, or the `as` rename).
+    /// Empty for glob imports.
+    pub alias: String,
+    /// `use path::*;`.
+    pub glob: bool,
+}
+
+/// A multi-segment path reference with enough context to resolve it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRef {
+    /// 1-indexed line.
+    pub line: u32,
+    /// Segments as written (`["VersionError", "Exhausted"]`).
+    pub path: Vec<String>,
+    /// Inline-module path of the reference within the file.
+    pub module: Vec<String>,
+    /// `Self` type of the enclosing impl/trait block, if any — used both
+    /// to resolve `Self::Variant` and to exclude an enum's own impl blocks
+    /// from consumption evidence.
+    pub container: Option<String>,
+}
+
+/// Parse a lexed file into items and call/pattern facts.
+#[must_use]
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        i: 0,
+        out: ParsedFile::default(),
+    };
+    let mut module = Vec::new();
+    p.items(&mut module, None, false);
+    p.out
+}
+
+/// Identifiers that can never start an expression path.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "true", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// The panic-macro family `panic-path` audits. `assert!`/`assert_eq!` are
+/// deliberately absent: the workspace uses them as *loud invariant checks*
+/// the security argument depends on (e.g. `clamp_block` aliasing guards).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Tok> {
+        self.toks.get(self.i + off)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn at_punct(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(s))
+    }
+
+    /// Skip one `#[...]` / `#![...]` attribute if the cursor is on `#`.
+    fn skip_attr(&mut self) -> bool {
+        if !self.at_punct("#") {
+            return false;
+        }
+        let mut j = self.i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_punct("!")) {
+            j += 1;
+        }
+        if !self.toks.get(j).is_some_and(|t| t.is_punct("[")) {
+            self.i += 1; // stray `#`, tolerate
+            return true;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.toks.get(j) {
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        self.i = (j + 1).min(self.toks.len());
+        true
+    }
+
+    /// Skip a balanced `<...>` generic group; cursor is on `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth <= 0 {
+                    self.i += 1;
+                    return;
+                }
+            } else if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                // Const-generic expressions / fn pointers inside bounds.
+                self.skip_balanced();
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skip a balanced `(..)`, `[..]`, or `{..}` group; cursor is on the
+    /// opener.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.peek() {
+            Some(t) if t.is_punct("(") => ("(", ")"),
+            Some(t) if t.is_punct("[") => ("[", "]"),
+            Some(t) if t.is_punct("{") => ("{", "}"),
+            _ => {
+                self.i += 1;
+                return;
+            }
+        };
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skip tokens until a `;` at delimiter depth 0 (consumed).
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                self.skip_balanced();
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Parse items until EOF or a `}` closing the enclosing block (the `}`
+    /// is consumed). `trait_scope` marks impl/trait-decl bodies, where
+    /// methods inherit the trait's visibility without a `pub` keyword.
+    fn items(
+        &mut self,
+        module: &mut Vec<String>,
+        container: Option<&Container>,
+        trait_scope: bool,
+    ) {
+        loop {
+            while self.skip_attr() {}
+            let Some(t) = self.peek() else { return };
+            if t.is_punct("}") {
+                self.i += 1;
+                return;
+            }
+            // Visibility + qualifiers.
+            let mut is_pub = trait_scope;
+            loop {
+                if self.at_ident("pub") {
+                    is_pub = true;
+                    self.i += 1;
+                    if self.at_punct("(") {
+                        self.skip_balanced(); // pub(crate) / pub(super)
+                    }
+                } else if self.at_ident("const")
+                    && self.peek_at(1).is_some_and(|t| t.is_ident("fn"))
+                    || self.at_ident("async")
+                    || self.at_ident("unsafe")
+                    || self.at_ident("default")
+                {
+                    self.i += 1;
+                } else if self.at_ident("extern") {
+                    self.i += 1;
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                        self.i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let Some(t) = self.peek() else { return };
+            match t.text.as_str() {
+                "mod" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    if self.at_punct("{") {
+                        self.i += 1;
+                        module.push(name);
+                        self.items(module, container, trait_scope);
+                        module.pop();
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                "use" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let mut prefix = Vec::new();
+                    self.use_tree(&mut prefix, module);
+                    self.skip_to_semi();
+                }
+                "fn" if t.kind == TokKind::Ident => {
+                    self.parse_fn(module, container, is_pub);
+                }
+                "enum" if t.kind == TokKind::Ident => {
+                    self.parse_enum(module);
+                }
+                "impl" if t.kind == TokKind::Ident => {
+                    self.parse_impl(module);
+                }
+                "trait" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    // Generics / supertraits / where-clause up to the body.
+                    while let Some(t) = self.peek() {
+                        if t.is_punct("{") {
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            self.skip_angles();
+                        } else if t.is_punct(";") {
+                            self.i += 1;
+                            break;
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                    if self.at_punct("{") {
+                        self.i += 1;
+                        let c = Container {
+                            type_name: name,
+                            trait_name: None,
+                        };
+                        self.items(module, Some(&c), true);
+                    }
+                }
+                "struct" | "union" if t.kind == TokKind::Ident => {
+                    self.i += 1;
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(";") {
+                            self.i += 1;
+                            break;
+                        }
+                        if t.is_punct("{") {
+                            self.skip_balanced();
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            self.skip_angles();
+                        } else if t.is_punct("(") {
+                            self.skip_balanced(); // tuple struct; `;` follows
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                }
+                "static" | "const" | "type" if t.kind == TokKind::Ident => {
+                    self.skip_to_semi();
+                }
+                "macro_rules" if t.kind == TokKind::Ident => {
+                    self.i += 1; // name + `!` + body
+                    while let Some(t) = self.peek() {
+                        if t.is_punct("{") {
+                            self.skip_balanced();
+                            break;
+                        }
+                        if t.is_punct(";") {
+                            self.i += 1;
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                }
+                _ => {
+                    // Unrecognised — advance one token (tolerant).
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// Parse one `use` tree; cursor is after `use` (or inside a group).
+    fn use_tree(&mut self, prefix: &mut Vec<String>, module: &[String]) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct("*") {
+                self.i += 1;
+                self.out.uses.push(UseItem {
+                    module: module.to_vec(),
+                    path: prefix.clone(),
+                    alias: String::new(),
+                    glob: true,
+                });
+                return;
+            }
+            if t.is_punct("{") {
+                self.i += 1;
+                loop {
+                    let Some(t) = self.peek() else { return };
+                    if t.is_punct("}") {
+                        self.i += 1;
+                        return;
+                    }
+                    if t.is_punct(",") {
+                        self.i += 1;
+                        continue;
+                    }
+                    let mut sub = prefix.clone();
+                    self.use_tree(&mut sub, module);
+                }
+            }
+            if t.kind != TokKind::Ident {
+                return;
+            }
+            if t.text == "self" && !prefix.is_empty() {
+                // `use x::y::{self, ..}` — binds the prefix's last segment.
+                self.i += 1;
+                self.out.uses.push(UseItem {
+                    module: module.to_vec(),
+                    path: prefix.clone(),
+                    alias: prefix.last().cloned().unwrap_or_default(),
+                    glob: false,
+                });
+                return;
+            }
+            let seg = t.text.clone();
+            self.i += 1;
+            if self.at_punct("::") {
+                prefix.push(seg);
+                self.i += 1;
+                continue;
+            }
+            // Leaf: optional `as` rename.
+            let alias = if self.at_ident("as") {
+                self.i += 1;
+                self.bump().map(|t| t.text.clone()).unwrap_or_default()
+            } else {
+                seg.clone()
+            };
+            prefix.push(seg);
+            self.out.uses.push(UseItem {
+                module: module.to_vec(),
+                path: prefix.clone(),
+                alias,
+                glob: false,
+            });
+            return;
+        }
+    }
+
+    /// Parse an enum declaration; cursor is on `enum`.
+    fn parse_enum(&mut self, module: &[String]) {
+        let line = self.peek().map_or(0, |t| t.line);
+        self.i += 1;
+        let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+        let mut item = EnumItem {
+            name,
+            module: module.to_vec(),
+            line,
+            variants: Vec::new(),
+        };
+        // Generics / where-clause up to the body.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else if t.is_punct(";") {
+                self.i += 1;
+                self.out.enums.push(item);
+                return;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.i += 1; // `{`
+        loop {
+            while self.skip_attr() {}
+            let Some(t) = self.peek() else { break };
+            if t.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct(",") {
+                self.i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                item.variants.push((t.text.clone(), t.line));
+                self.i += 1;
+                // Payload / discriminant.
+                match self.peek() {
+                    Some(t) if t.is_punct("(") || t.is_punct("{") => self.skip_balanced(),
+                    Some(t) if t.is_punct("=") => {
+                        while let Some(t) = self.peek() {
+                            if t.is_punct(",") || t.is_punct("}") {
+                                break;
+                            }
+                            self.i += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        self.out.enums.push(item);
+    }
+
+    /// Parse an impl block; cursor is on `impl`.
+    fn parse_impl(&mut self, module: &mut Vec<String>) {
+        self.i += 1;
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // First path: either the Self type (inherent) or the trait.
+        let first = self.impl_path();
+        let container = if self.at_ident("for") {
+            self.i += 1;
+            let ty = self.impl_path();
+            Container {
+                type_name: ty,
+                trait_name: Some(first),
+            }
+        } else {
+            Container {
+                type_name: first,
+                trait_name: None,
+            }
+        };
+        // Where-clause up to the body.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else if t.is_punct(";") {
+                self.i += 1;
+                return;
+            } else {
+                self.i += 1;
+            }
+        }
+        if self.at_punct("{") {
+            self.i += 1;
+            let trait_scope = container.trait_name.is_some();
+            self.items(module, Some(&container), trait_scope);
+        }
+    }
+
+    /// Read a type/trait path in an impl header, returning its last
+    /// meaningful segment (`tnpu_memprot::ProtectionEngine` → that name;
+    /// `SecureRunner<M>` → `SecureRunner`; `&mut X` → `X`).
+    fn impl_path(&mut self) -> String {
+        let mut last = String::new();
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident {
+                if t.text == "for" || t.text == "where" {
+                    break;
+                }
+                last = t.text.clone();
+                self.i += 1;
+                if self.at_punct("<") {
+                    self.skip_angles();
+                }
+                if self.at_punct("::") {
+                    self.i += 1;
+                    continue;
+                }
+                break;
+            } else if t.is_punct("&") || t.is_punct("<") && last.is_empty() {
+                // `impl<T> Trait for &T` / `impl <T as X>::Out` — tolerate.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Parse a fn item; cursor is on `fn`.
+    fn parse_fn(&mut self, module: &[String], container: Option<&Container>, is_pub: bool) {
+        let line = self.peek().map_or(0, |t| t.line);
+        self.i += 1;
+        let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+        let mut f = FnItem {
+            name,
+            module: module.to_vec(),
+            container: container.cloned(),
+            is_pub,
+            line,
+            end_line: line,
+            calls: Vec::new(),
+            panics: Vec::new(),
+        };
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        if self.at_punct("(") {
+            self.skip_balanced();
+        }
+        // Return type / where-clause up to the body or `;`.
+        loop {
+            let Some(t) = self.peek() else {
+                self.out.fns.push(f);
+                return;
+            };
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct(";") {
+                f.end_line = t.line;
+                self.i += 1;
+                self.out.fns.push(f);
+                return;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+            } else if t.is_punct("(") || t.is_punct("[") {
+                self.skip_balanced(); // fn-pointer / array types
+            } else {
+                self.i += 1;
+            }
+        }
+        self.i += 1; // `{`
+        self.expr_until_close(&mut f, "}");
+        f.end_line = self
+            .toks
+            .get(self.i.saturating_sub(1))
+            .map_or(f.line, |t| t.line);
+        self.out.fns.push(f);
+    }
+
+    // ------------------------------------------------------------------
+    // Expression scanning
+    // ------------------------------------------------------------------
+
+    /// Scan expression content until the delimiter closing the group the
+    /// cursor is inside (the closer is consumed).
+    fn expr_until_close(&mut self, f: &mut FnItem, close: &str) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct(close) {
+                self.i += 1;
+                return;
+            }
+            self.expr_step(f);
+        }
+    }
+
+    /// Process one expression construct at the cursor: a call path, a
+    /// method call, a panic site, a nested delimiter group, `match`,
+    /// `let`-pattern, or a single uninteresting token.
+    fn expr_step(&mut self, f: &mut FnItem) {
+        let Some(t) = self.peek() else { return };
+        if self.skip_attr() {
+            return;
+        }
+        match t.kind {
+            TokKind::Punct if t.text == "(" || t.text == "{" => {
+                self.i += 1;
+                let close = if t.text == "(" { ")" } else { "}" };
+                self.expr_until_close(f, close);
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Index heuristic: `expr[..]` panics; `[1, 2]` / `&[u8]`
+                // / `vec![..]` do not (the previous token tells them
+                // apart).
+                if self.prev_is_indexable() {
+                    f.panics.push(PanicSite {
+                        line: t.line,
+                        kind: PanicKind::Index,
+                    });
+                }
+                self.i += 1;
+                self.expr_until_close(f, "]");
+            }
+            TokKind::Punct if t.text == "." => {
+                self.i += 1;
+                let Some(n) = self.peek() else { return };
+                if n.kind != TokKind::Ident {
+                    return; // tuple field `.0`, `.await` handled below
+                }
+                let name = n.text.clone();
+                let line = n.line;
+                self.i += 1;
+                if self.at_punct("::") && self.peek_at(1).is_some_and(|t| t.is_punct("<")) {
+                    self.i += 1;
+                    self.skip_angles(); // turbofish `.collect::<Vec<_>>()`
+                }
+                if self.at_punct("(") {
+                    match name.as_str() {
+                        "unwrap" => f.panics.push(PanicSite {
+                            line,
+                            kind: PanicKind::Unwrap,
+                        }),
+                        "expect" => f.panics.push(PanicSite {
+                            line,
+                            kind: PanicKind::Expect,
+                        }),
+                        _ => f.calls.push(CallSite {
+                            line,
+                            path: vec![name],
+                            method: true,
+                        }),
+                    }
+                }
+                // The `(..)` argument group is scanned by the main loop.
+            }
+            TokKind::Ident => {
+                let text = t.text.as_str();
+                match text {
+                    "match" => {
+                        self.i += 1;
+                        self.scan_match(f);
+                    }
+                    "if" | "while" => {
+                        self.i += 1;
+                        if self.at_ident("let") {
+                            self.i += 1;
+                            self.scan_pattern_until(f, &["="]);
+                        }
+                    }
+                    "for" => {
+                        self.i += 1;
+                        self.scan_pattern_until(f, &["in"]);
+                    }
+                    "let" => {
+                        self.i += 1;
+                        let stop = self.scan_pattern_until(f, &["=", ";", ":"]);
+                        if stop.as_deref() == Some(":") {
+                            // Type ascription: skip to `=` or `;`.
+                            while let Some(t) = self.peek() {
+                                if t.is_punct("=") || t.is_punct(";") {
+                                    break;
+                                }
+                                if t.is_punct("<") {
+                                    self.skip_angles();
+                                } else if t.is_punct("(") || t.is_punct("[") {
+                                    self.skip_balanced();
+                                } else {
+                                    self.i += 1;
+                                }
+                            }
+                        }
+                    }
+                    "fn" => {
+                        // Nested item fn: parse as its own node.
+                        let module = f.module.clone();
+                        self.parse_fn(&module, None, false);
+                    }
+                    _ if KEYWORDS.contains(&text) => {
+                        self.i += 1;
+                    }
+                    "matches" if self.peek_at(1).is_some_and(|t| t.is_punct("!")) => {
+                        self.i += 2;
+                        self.scan_matches_macro(f);
+                    }
+                    _ if PANIC_MACROS.contains(&text)
+                        && self.peek_at(1).is_some_and(|t| t.is_punct("!")) =>
+                    {
+                        f.panics.push(PanicSite {
+                            line: t.line,
+                            kind: PanicKind::Macro(text.to_owned()),
+                        });
+                        self.i += 2;
+                    }
+                    _ if self.peek_at(1).is_some_and(|t| t.is_punct("!")) => {
+                        // Other macro invocation: skip the name and bang;
+                        // the argument tokens scan as plain expression
+                        // content (calls inside them are still recorded).
+                        self.i += 2;
+                    }
+                    _ => self.scan_path_expr(f),
+                }
+            }
+            _ => {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Whether the token before the cursor can be an index receiver.
+    fn prev_is_indexable(&self) -> bool {
+        let Some(p) = self.i.checked_sub(1).and_then(|j| self.toks.get(j)) else {
+            return false;
+        };
+        match p.kind {
+            TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+            TokKind::Punct => p.text == ")" || p.text == "]",
+            _ => false,
+        }
+    }
+
+    /// Collect an expression path starting at a non-keyword ident and
+    /// classify it: call, or multi-segment reference.
+    fn scan_path_expr(&mut self, f: &mut FnItem) {
+        let line = self.peek().map_or(0, |t| t.line);
+        let mut path = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.kind != TokKind::Ident {
+                break;
+            }
+            path.push(t.text.clone());
+            self.i += 1;
+            if self.at_punct("::") {
+                if self.peek_at(1).is_some_and(|t| t.is_punct("<")) {
+                    self.i += 1;
+                    self.skip_angles(); // turbofish
+                    break;
+                }
+                if self.peek_at(1).is_some_and(|t| t.kind == TokKind::Ident) {
+                    self.i += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        if path.is_empty() {
+            self.i += 1;
+            return;
+        }
+        if self.at_punct("(") {
+            f.calls.push(CallSite {
+                line,
+                path,
+                method: false,
+            });
+            // Argument group scanned by the main loop.
+        } else if path.len() >= 2 {
+            self.out.expr_refs.push(PathRef {
+                line,
+                path,
+                module: f.module.clone(),
+                container: f.container.as_ref().map(|c| c.type_name.clone()),
+            });
+        }
+    }
+
+    /// Scan a `match`: head expression, then the arm list.
+    fn scan_match(&mut self, f: &mut FnItem) {
+        // Head: expression until a `{` at this level (delimiters recurse,
+        // so the body brace is the first `{` the loop sees directly).
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct("{") {
+                self.i += 1;
+                break;
+            }
+            self.expr_step(f);
+        }
+        // Arms.
+        loop {
+            while self.skip_attr() {}
+            let Some(t) = self.peek() else { return };
+            if t.is_punct("}") {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct(",") {
+                self.i += 1;
+                continue;
+            }
+            // Pattern up to `=>` (or an `if` guard, whose condition is
+            // expression content).
+            let stop = self.scan_pattern_until(f, &["=>", "if"]);
+            if stop.as_deref() == Some("if") {
+                loop {
+                    let Some(t) = self.peek() else { return };
+                    if t.is_punct("=>") {
+                        self.i += 1;
+                        break;
+                    }
+                    self.expr_step(f);
+                }
+            }
+            // Arm body: a block, or an expression up to `,` / the closing
+            // `}` of the match.
+            if self.at_punct("{") {
+                self.i += 1;
+                self.expr_until_close(f, "}");
+            } else {
+                loop {
+                    let Some(t) = self.peek() else { return };
+                    if t.is_punct(",") {
+                        self.i += 1;
+                        break;
+                    }
+                    if t.is_punct("}") {
+                        break; // match's own closer; outer loop consumes
+                    }
+                    self.expr_step(f);
+                }
+            }
+        }
+    }
+
+    /// Scan `matches!(expr, pattern)`: first argument as expression, the
+    /// rest as pattern.
+    fn scan_matches_macro(&mut self, f: &mut FnItem) {
+        if !self.at_punct("(") && !self.at_punct("[") && !self.at_punct("{") {
+            return;
+        }
+        let close = match self.peek().map(|t| t.text.as_str()) {
+            Some("(") => ")",
+            Some("[") => "]",
+            _ => "}",
+        };
+        self.i += 1;
+        // Scrutinee expression until the first `,` at this level.
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct(",") {
+                self.i += 1;
+                break;
+            }
+            if t.is_punct(close) {
+                self.i += 1;
+                return; // malformed; tolerate
+            }
+            self.expr_step(f);
+        }
+        let stop = self.scan_pattern_until(f, &[close, "if"]);
+        if stop.as_deref() == Some("if") {
+            // Guard expression until the closer.
+            loop {
+                let Some(t) = self.peek() else { return };
+                if t.is_punct(close) {
+                    self.i += 1;
+                    return;
+                }
+                self.expr_step(f);
+            }
+        }
+    }
+
+    /// Scan pattern tokens, recording multi-segment paths as pattern
+    /// references, until one of `stops` appears at delimiter depth 0
+    /// (idents like `in`/`if` match identifier stops; punct stops match
+    /// punctuation). The stop token is consumed; returns which stop fired.
+    fn scan_pattern_until(&mut self, f: &FnItem, stops: &[&str]) -> Option<String> {
+        let mut depth = 0i32;
+        loop {
+            let t = self.peek()?;
+            if depth == 0 && stops.contains(&t.text.as_str()) {
+                let hit = t.text.clone();
+                self.i += 1;
+                return Some(hit);
+            }
+            match t.kind {
+                TokKind::Punct if matches!(t.text.as_str(), "(" | "[" | "{") => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                TokKind::Punct if matches!(t.text.as_str(), ")" | "]" | "}") => {
+                    if depth == 0 {
+                        return None; // end of enclosing group; not consumed
+                    }
+                    depth -= 1;
+                    self.i += 1;
+                }
+                TokKind::Punct if t.text == ";" && depth == 0 => {
+                    return None; // malformed pattern; tolerate
+                }
+                TokKind::Ident if !KEYWORDS.contains(&t.text.as_str()) => {
+                    let line = t.line;
+                    let mut path = vec![t.text.clone()];
+                    self.i += 1;
+                    while self.at_punct("::")
+                        && self.peek_at(1).is_some_and(|t| t.kind == TokKind::Ident)
+                    {
+                        self.i += 1;
+                        path.push(self.bump().map(|t| t.text.clone()).unwrap_or_default());
+                    }
+                    if path.len() >= 2 {
+                        self.out.pattern_refs.push(PathRef {
+                            line,
+                            path,
+                            module: f.module.clone(),
+                            container: f.container.as_ref().map(|c| c.type_name.clone()),
+                        });
+                    }
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not parsed: {:?}", p.fns))
+    }
+
+    #[test]
+    fn fns_modules_and_calls() {
+        let p = parse_src(
+            "mod outer {\n  pub mod inner {\n    pub fn helper(x: u64) -> u64 { deeper(x) }\n    fn deeper(x: u64) -> u64 { x }\n  }\n}\nfn top() { outer::inner::helper(3); }\n",
+        );
+        let helper = fn_named(&p, "helper");
+        assert_eq!(helper.module, vec!["outer", "inner"]);
+        assert!(helper.is_pub);
+        assert_eq!(helper.calls.len(), 1);
+        assert_eq!(helper.calls[0].path, vec!["deeper"]);
+        let top = fn_named(&p, "top");
+        assert!(!top.is_pub);
+        assert_eq!(top.calls[0].path, vec!["outer", "inner", "helper"]);
+    }
+
+    #[test]
+    fn impl_blocks_and_method_calls() {
+        let p = parse_src(
+            "struct Runner;\nimpl Runner {\n  pub fn go(&mut self) { self.step(); RawDram::new(); }\n}\nimpl Drop for Runner {\n  fn drop(&mut self) {}\n}\n",
+        );
+        let go = fn_named(&p, "go");
+        let c = go.container.as_ref().expect("container");
+        assert_eq!(c.type_name, "Runner");
+        assert_eq!(c.trait_name, None);
+        assert!(go.is_pub);
+        let calls: Vec<_> = go
+            .calls
+            .iter()
+            .map(|c| (c.path.clone(), c.method))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (vec!["step".to_owned()], true),
+                (vec!["RawDram".to_owned(), "new".to_owned()], false)
+            ]
+        );
+        let drop = fn_named(&p, "drop");
+        let c = drop.container.as_ref().expect("container");
+        assert_eq!(c.type_name, "Runner");
+        assert_eq!(c.trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let p = parse_src(
+            "impl<M: FunctionalMemory> SecureRunner<M> {\n  fn tick(&self) {}\n}\nimpl tnpu_memprot::ProtectionEngine for TreelessEngine {\n  fn scheme(&self) {}\n}\n",
+        );
+        let tick = fn_named(&p, "tick");
+        assert_eq!(tick.container.as_ref().unwrap().type_name, "SecureRunner");
+        let scheme = fn_named(&p, "scheme");
+        let c = scheme.container.as_ref().unwrap();
+        assert_eq!(c.type_name, "TreelessEngine");
+        assert_eq!(c.trait_name.as_deref(), Some("ProtectionEngine"));
+    }
+
+    #[test]
+    fn trait_decl_default_methods_belong_to_the_trait() {
+        let p = parse_src(
+            "pub trait ProtectionEngine: Send {\n  fn read_block(&mut self, a: u64);\n  fn read_run(&mut self, r: Run) { self.read_block(r.base()); }\n}\n",
+        );
+        let sig = fn_named(&p, "read_block");
+        assert_eq!(
+            sig.container.as_ref().unwrap().type_name,
+            "ProtectionEngine"
+        );
+        assert!(sig.is_pub, "trait methods inherit the trait's visibility");
+        assert!(sig.calls.is_empty());
+        let dflt = fn_named(&p, "read_run");
+        let calls: Vec<_> = dflt.calls.iter().map(|c| c.path.join("::")).collect();
+        assert_eq!(calls, vec!["read_block", "base"]);
+        assert!(dflt.calls.iter().all(|c| c.method));
+    }
+
+    #[test]
+    fn use_trees_with_groups_globs_and_renames() {
+        let p = parse_src(
+            "use tnpu_memprot::functional::dram as raw;\nuse tnpu_core::{VersionTable, version::VersionError as VErr};\nuse tnpu_sim::*;\nmod m { use super::helper; }\n",
+        );
+        let find = |alias: &str| {
+            p.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .unwrap_or_else(|| panic!("no alias {alias}: {:?}", p.uses))
+        };
+        assert_eq!(find("raw").path, vec!["tnpu_memprot", "functional", "dram"]);
+        assert_eq!(
+            find("VErr").path,
+            vec!["tnpu_core", "version", "VersionError"]
+        );
+        assert_eq!(find("VersionTable").path, vec!["tnpu_core", "VersionTable"]);
+        let glob = p.uses.iter().find(|u| u.glob).expect("glob import");
+        assert_eq!(glob.path, vec!["tnpu_sim"]);
+        assert_eq!(find("helper").module, vec!["m"]);
+    }
+
+    #[test]
+    fn enums_and_variants() {
+        let p = parse_src(
+            "pub enum VersionError {\n  UnknownTensor(TensorId),\n  NoSuchTile { tensor: TensorId, tile: u32 },\n  Exhausted(TensorId),\n}\nenum Simple { A, B = 3, C }\n",
+        );
+        let ve = &p.enums[0];
+        assert_eq!(ve.name, "VersionError");
+        let names: Vec<_> = ve.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["UnknownTensor", "NoSuchTile", "Exhausted"]);
+        let simple = &p.enums[1];
+        let names: Vec<_> = simple.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn panic_sites_unwrap_expect_macros_and_indexing() {
+        let p = parse_src(
+            "fn f(v: &[u8], m: &M) -> u8 {\n  let a = m.get(0).unwrap();\n  let b = m.get(1).expect(\"msg\");\n  if v.is_empty() { panic!(\"empty\"); }\n  let c = v[2];\n  let d = [1u8, 2];\n  let e = &v[..1];\n  a + b + c + d[0] + e[0]\n}\n",
+        );
+        let f = fn_named(&p, "f");
+        let kinds: Vec<_> = f.panics.iter().map(|s| (s.line, s.kind.clone())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (2, PanicKind::Unwrap),
+                (3, PanicKind::Expect),
+                (4, PanicKind::Macro("panic".to_owned())),
+                (5, PanicKind::Index),
+                (7, PanicKind::Index),
+                (8, PanicKind::Index),
+                (8, PanicKind::Index),
+            ]
+        );
+    }
+
+    #[test]
+    fn array_literals_types_and_macros_are_not_indexing() {
+        let p = parse_src(
+            "fn f() {\n  let a: [u8; 4] = [0; 4];\n  let v = vec![1, 2];\n  let s: &[u8] = &a;\n  let m = Measurement { bytes: [0u8; 32] };\n  g(s, v, m);\n}\n",
+        );
+        let f = fn_named(&p, "f");
+        assert!(
+            f.panics.is_empty(),
+            "no index panics expected: {:?}",
+            f.panics
+        );
+    }
+
+    #[test]
+    fn match_arms_are_pattern_context() {
+        let p = parse_src(
+            "fn f(e: VersionError) -> u32 {\n  match e {\n    VersionError::Exhausted(t) => handle(t),\n    VersionError::NoSuchTile { tensor, .. } if tensor.0 > guard_fn() => 1,\n    _ => fallback(),\n  }\n}\n",
+        );
+        let pats: Vec<_> = p.pattern_refs.iter().map(|r| r.path.join("::")).collect();
+        assert_eq!(
+            pats,
+            vec!["VersionError::Exhausted", "VersionError::NoSuchTile"]
+        );
+        let f = fn_named(&p, "f");
+        let calls: Vec<_> = f.calls.iter().map(|c| c.path.join("::")).collect();
+        // handle (arm body), guard_fn (guard), fallback (arm body) are all
+        // expression context — and the scrutinee is too.
+        assert_eq!(calls, vec!["handle", "guard_fn", "fallback"]);
+    }
+
+    #[test]
+    fn if_let_while_let_matches_and_let_destructuring() {
+        let p = parse_src(
+            "fn f(r: Res) {\n  if let Err(RunError::Poisoned) = check(r) { recover(); }\n  while let Some(x) = iter.next() { use_it(x); }\n  let hit = matches!(classify(r), RunError::Finished | RunError::Cpu(_));\n  let Wrapper(inner) = r;\n}\n",
+        );
+        let pats: Vec<_> = p.pattern_refs.iter().map(|r| r.path.join("::")).collect();
+        assert_eq!(
+            pats,
+            vec!["RunError::Poisoned", "RunError::Finished", "RunError::Cpu"]
+        );
+        let f = fn_named(&p, "f");
+        let calls: Vec<_> = f.calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(calls.contains(&"check".to_owned()));
+        assert!(calls.contains(&"classify".to_owned()));
+        assert!(calls.contains(&"recover".to_owned()));
+    }
+
+    #[test]
+    fn unit_variant_construction_is_an_expr_ref() {
+        let p = parse_src(
+            "fn f() -> RunError {\n  log(RunError::Poisoned);\n  VersionError::Exhausted(t);\n  Err(SessionError::DeadContext(id))?;\n  RunError::Finished\n}\n",
+        );
+        let exprs: Vec<_> = p.expr_refs.iter().map(|r| r.path.join("::")).collect();
+        assert!(exprs.contains(&"RunError::Poisoned".to_owned()));
+        assert!(exprs.contains(&"RunError::Finished".to_owned()));
+        // Tuple-variant constructions surface as calls instead.
+        let f = fn_named(&p, "f");
+        let calls: Vec<_> = f.calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(calls.contains(&"VersionError::Exhausted".to_owned()));
+        assert!(calls.contains(&"SessionError::DeadContext".to_owned()));
+    }
+
+    #[test]
+    fn self_paths_carry_their_container() {
+        let p = parse_src("impl RunError {\n  fn poisoned() -> Self { Self::Poisoned }\n}\n");
+        let r = &p.expr_refs[0];
+        assert_eq!(r.path, vec!["Self", "Poisoned"]);
+        assert_eq!(r.container.as_deref(), Some("RunError"));
+    }
+
+    #[test]
+    fn turbofish_calls_and_nested_fns() {
+        let p = parse_src(
+            "fn f() {\n  let v = Vec::<u8>::new();\n  let n = usize::try_from(x).expect(\"fits\");\n  fn nested() { inner_call(); }\n}\n",
+        );
+        let f = fn_named(&p, "f");
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| c.path == vec!["usize".to_owned(), "try_from".to_owned()]));
+        assert_eq!(f.panics.len(), 1, "the expect: {:?}", f.panics);
+        let nested = fn_named(&p, "nested");
+        assert_eq!(nested.calls[0].path, vec!["inner_call"]);
+    }
+
+    #[test]
+    fn match_head_calls_are_recorded() {
+        let p = parse_src(
+            "fn f(t: T) -> u32 {\n  match self.table.version(t) {\n    Ok(v) => v,\n    Err(e) => match nested(e) { _ => 0 },\n  }\n}\n",
+        );
+        let f = fn_named(&p, "f");
+        let calls: Vec<_> = f.calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(calls.contains(&"version".to_owned()), "head: {calls:?}");
+        assert!(
+            calls.contains(&"nested".to_owned()),
+            "nested head: {calls:?}"
+        );
+    }
+}

@@ -37,6 +37,8 @@ pub enum Family {
     UnitSafety,
     /// Threat-model invariants.
     Security,
+    /// Panic/error-handling hazards on the public API surface.
+    Robustness,
 }
 
 impl Family {
@@ -47,6 +49,7 @@ impl Family {
             Family::Determinism => "determinism",
             Family::UnitSafety => "unit-safety",
             Family::Security => "security",
+            Family::Robustness => "robustness",
         }
     }
 }
@@ -184,10 +187,83 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// A semantic (call-graph) rule: scoping metadata only — the checks run
+/// workspace-wide in [`callgraph`](crate::callgraph), because they need
+/// every file's parse, not one file's tokens. The include/exclude scope
+/// controls where *findings* are reported; evidence (calls, constructions,
+/// matches) is always gathered from the whole workspace.
+pub struct SemRule {
+    /// Kebab-case id used in diagnostics, `lint.toml`, and allow comments.
+    pub id: &'static str,
+    /// Rule family.
+    pub family: Family,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Default path scope findings are reported in. Empty = everywhere.
+    pub include: &'static [&'static str],
+    /// Default path prefixes exempt from the rule.
+    pub exclude: &'static [&'static str],
+    /// Whether test regions/directories are exempt.
+    pub exempt_tests: bool,
+}
+
+/// The semantic rule families (see `LINTS.md` for the full semantics).
+pub const SEM_RULES: &[SemRule] = &[
+    SemRule {
+        id: "engine-bypass",
+        family: Family::Security,
+        summary: "call chain from outside crates/memprot reaches functional::dram \
+                  without traversing a protection engine",
+        include: &[],
+        // Code inside memprot is the protection implementation itself;
+        // the rule reports the call sites that cross into it.
+        exclude: &["crates/memprot"],
+        exempt_tests: true,
+    },
+    SemRule {
+        id: "panic-path",
+        family: Family::Robustness,
+        summary: "unwrap/expect/panic!/indexing reachable from the public \
+                  Session/SecureRunner/serving API surface",
+        include: &["crates/core", "crates/tee"],
+        exclude: &[],
+        exempt_tests: true,
+    },
+    SemRule {
+        id: "error-variant-consumption",
+        family: Family::Robustness,
+        summary: "error-enum variant not both constructed and matched/handled \
+                  in non-test code",
+        include: &[],
+        exclude: &[],
+        exempt_tests: true,
+    },
+];
+
+/// The error enums `error-variant-consumption` audits: the typed-error
+/// surfaces recovery and serving dispatch on. A variant of these that is
+/// constructed but never matched is dead recovery logic (the PR 6
+/// `Exhausted` bug class); one matched but never constructed is a stale
+/// handler.
+pub const AUDITED_ERROR_ENUMS: &[&str] =
+    &["VersionError", "IntegrityError", "SessionError", "RunError"];
+
 /// Look up a rule by id.
 #[must_use]
 pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Look up a semantic rule by id.
+#[must_use]
+pub fn sem_rule_by_id(id: &str) -> Option<&'static SemRule> {
+    SEM_RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `id` names any rule, lexical or semantic.
+#[must_use]
+pub fn any_rule_by_id(id: &str) -> bool {
+    rule_by_id(id).is_some() || sem_rule_by_id(id).is_some()
 }
 
 fn check_hash_collections(lexed: &LexedFile, _path: &str) -> Vec<Finding> {

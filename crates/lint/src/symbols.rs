@@ -1,0 +1,545 @@
+//! Workspace-wide symbol table over per-file [`ParsedFile`]s.
+//!
+//! The table maps every parsed function to a fully-qualified module path
+//! derived from its file's workspace-relative path (`crates/<c>/src/a/b.rs`
+//! → crate ident `tnpu_<c>`, module `a::b`, matching the workspace's
+//! `tnpu-<c>` → `tnpu_<c>` package naming), and resolves call paths through
+//! `use` declarations (including `as` renames and glob imports), `crate`/
+//! `self`/`super` prefixes, and `Self` in impl blocks.
+//!
+//! Resolution is deliberately *name-level*, not type-level: a path call
+//! `RawDram::new()` resolves confidently to the one `impl RawDram` block in
+//! the workspace, but a method call `.read_block()` on an unknown receiver
+//! resolves to *every* method of that name. The call-graph layer treats
+//! those two edge classes differently (see `callgraph.rs`).
+
+use crate::parser::{CallSite, EnumItem, FnItem, ParsedFile, PathRef};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function node in [`Workspace::fns`].
+pub type FnId = usize;
+
+/// One analyzed file: its path plus parse results.
+#[derive(Debug)]
+pub struct FileEntry {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// Parse results.
+    pub parsed: ParsedFile,
+    /// Inclusive `#[cfg(test)]` line ranges (from the lexer).
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl FileEntry {
+    /// Whether `line` is inside a `#[cfg(test)]` region of this file.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// One function in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// The parsed item (name, container, calls, panics, lines).
+    pub item: FnItem,
+    /// Fully-qualified module path: crate ident + file module + inline
+    /// modules (`["tnpu_memprot", "functional", "dram"]`).
+    pub fq_module: Vec<String>,
+}
+
+impl FnNode {
+    /// Display name for diagnostics: `Type::name` or `module::name`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match &self.item.container {
+            Some(c) => format!("{}::{}", c.type_name, self.item.name),
+            None => match self.fq_module.last() {
+                Some(m) => format!("{m}::{}", self.item.name),
+                None => self.item.name.clone(),
+            },
+        }
+    }
+}
+
+/// One enum definition with its defining location.
+#[derive(Debug)]
+pub struct EnumDef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// The parsed enum.
+    pub item: EnumItem,
+}
+
+/// One file's `use`-alias table: `(inline module path, alias) -> full
+/// imported path`.
+type AliasMap = BTreeMap<(Vec<String>, String), Vec<String>>;
+
+/// The assembled workspace: all files, all functions, and lookup tables.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All analyzed files.
+    pub files: Vec<FileEntry>,
+    /// All function nodes.
+    pub fns: Vec<FnNode>,
+    /// All enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// `type name -> trait names it implements` (bare last segments).
+    pub trait_impls: BTreeMap<String, BTreeSet<String>>,
+    /// Free functions by fully-qualified `crate::mod::name` path.
+    free_fns: BTreeMap<String, Vec<FnId>>,
+    /// Methods by `(bare type name, method name)`.
+    methods_by_type: BTreeMap<(String, String), Vec<FnId>>,
+    /// Methods by bare name (for `.m()` calls with unknown receiver).
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Per file: `(inline module, alias) -> full imported path`.
+    aliases: Vec<AliasMap>,
+    /// Per file: glob-import prefixes with their declaring inline module.
+    globs: Vec<Vec<(Vec<String>, Vec<String>)>>,
+    /// Every crate ident present (for absolute-path detection).
+    crate_idents: BTreeSet<String>,
+}
+
+/// Crate ident for a workspace-relative path: `crates/mem-prot/...` →
+/// `tnpu_mem_prot`, the root `src/` tree → `tnpu`.
+#[must_use]
+pub fn crate_ident(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => match parts.next() {
+            Some(name) => format!("tnpu_{}", name.replace('-', "_")),
+            None => "tnpu".to_owned(),
+        },
+        _ => "tnpu".to_owned(),
+    }
+}
+
+/// Module path a file contributes (`crates/c/src/a/b.rs` → `["a", "b"]`,
+/// `lib.rs`/`main.rs`/`mod.rs` following the usual conventions). Files
+/// outside `src/` (integration tests, benches) get their directory chain as
+/// a pseudo-module so their symbols cannot collide with library paths.
+#[must_use]
+pub fn file_module(path: &str) -> Vec<String> {
+    let rel: Vec<&str> = path.split('/').collect();
+    // Drop the `crates/<name>` prefix if present.
+    let rest = if rel.first() == Some(&"crates") && rel.len() > 2 {
+        &rel[2..]
+    } else {
+        &rel[..]
+    };
+    let mut comps: Vec<&str> = if rest.first() == Some(&"src") {
+        rest[1..].to_vec()
+    } else {
+        rest.to_vec()
+    };
+    let Some(last) = comps.pop() else {
+        return Vec::new();
+    };
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    let mut out: Vec<String> = comps.iter().map(|s| (*s).to_owned()).collect();
+    if !matches!(stem, "lib" | "main" | "mod") {
+        out.push(stem.to_owned());
+    }
+    out
+}
+
+impl Workspace {
+    /// Assemble the table from parsed files.
+    #[must_use]
+    pub fn build(files: Vec<FileEntry>) -> Self {
+        let mut ws = Workspace::default();
+        for entry in &files {
+            ws.crate_idents.insert(crate_ident(&entry.path));
+        }
+        for (fi, entry) in files.iter().enumerate() {
+            let base = {
+                let mut m = vec![crate_ident(&entry.path)];
+                m.extend(file_module(&entry.path));
+                m
+            };
+            let mut alias_map = BTreeMap::new();
+            let mut glob_list = Vec::new();
+            for u in &entry.parsed.uses {
+                let path = ws.expand_crate_head(&u.path, &base);
+                if u.glob {
+                    glob_list.push((u.module.clone(), path));
+                } else {
+                    alias_map.insert((u.module.clone(), u.alias.clone()), path);
+                }
+            }
+            ws.aliases.push(alias_map);
+            ws.globs.push(glob_list);
+
+            for item in &entry.parsed.fns {
+                let id = ws.fns.len();
+                let mut fq = base.clone();
+                fq.extend(item.module.iter().cloned());
+                match &item.container {
+                    Some(c) => {
+                        ws.methods_by_type
+                            .entry((c.type_name.clone(), item.name.clone()))
+                            .or_default()
+                            .push(id);
+                        ws.methods_by_name
+                            .entry(item.name.clone())
+                            .or_default()
+                            .push(id);
+                        if let Some(t) = &c.trait_name {
+                            ws.trait_impls
+                                .entry(c.type_name.clone())
+                                .or_default()
+                                .insert(t.clone());
+                        }
+                    }
+                    None => {
+                        let mut key = fq.join("::");
+                        key.push_str("::");
+                        key.push_str(&item.name);
+                        ws.free_fns.entry(key).or_default().push(id);
+                    }
+                }
+                ws.fns.push(FnNode {
+                    file: fi,
+                    item: item.clone(),
+                    fq_module: fq,
+                });
+            }
+            for e in &entry.parsed.enums {
+                ws.enums.push(EnumDef {
+                    file: fi,
+                    item: e.clone(),
+                });
+            }
+        }
+        ws.files = files;
+        ws
+    }
+
+    /// Rewrite a path head of `crate`/`self`/`super` against `base`
+    /// (crate ident + file module).
+    fn expand_crate_head(&self, path: &[String], base: &[String]) -> Vec<String> {
+        match path.first().map(String::as_str) {
+            Some("crate") => {
+                let mut out = vec![base[0].clone()];
+                out.extend(path[1..].iter().cloned());
+                out
+            }
+            Some("self") => {
+                let mut out = base.to_vec();
+                out.extend(path[1..].iter().cloned());
+                out
+            }
+            Some("super") => {
+                let mut out = base.to_vec();
+                let mut rest = path;
+                while rest.first().map(String::as_str) == Some("super") {
+                    out.pop();
+                    rest = &rest[1..];
+                }
+                out.extend(rest.iter().cloned());
+                out
+            }
+            _ => path.to_vec(),
+        }
+    }
+
+    /// The `use` alias expansion visible at `(file, inline module)` for a
+    /// bare name, searching the module and its ancestors (a top-of-file
+    /// `use` is visible throughout the file — an over-approximation of
+    /// Rust's per-module scoping that errs towards resolving more).
+    fn lookup_alias(&self, file: usize, module: &[String], name: &str) -> Option<&Vec<String>> {
+        let map = self.aliases.get(file)?;
+        let mut scope = module.to_vec();
+        loop {
+            if let Some(path) = map.get(&(scope.clone(), name.to_owned())) {
+                return Some(path);
+            }
+            scope.pop()?;
+        }
+    }
+
+    /// Resolve a written path from the body of `caller` to an absolute-ish
+    /// path (crate-qualified where possible, bare type paths left as-is).
+    #[must_use]
+    pub fn resolve_path(&self, caller: &FnNode, path: &[String]) -> Vec<String> {
+        let Some(head) = path.first() else {
+            return Vec::new();
+        };
+        let file = caller.file;
+        let inline = &caller.item.module;
+        let base: Vec<String> = {
+            // crate ident + file module (fq_module minus nothing — it
+            // already includes inline modules; rebuild without them).
+            let n = caller.fq_module.len() - inline.len();
+            caller.fq_module[..n].to_vec()
+        };
+        match head.as_str() {
+            "crate" => {
+                let mut out = vec![caller.fq_module[0].clone()];
+                out.extend(path[1..].iter().cloned());
+                out
+            }
+            "self" => {
+                let mut out = caller.fq_module.clone();
+                out.extend(path[1..].iter().cloned());
+                out
+            }
+            "super" => {
+                let mut out = caller.fq_module.clone();
+                let mut rest = path;
+                while rest.first().map(String::as_str) == Some("super") {
+                    out.pop();
+                    rest = &rest[1..];
+                }
+                out.extend(rest.iter().cloned());
+                out
+            }
+            "Self" => {
+                let mut out = Vec::new();
+                if let Some(c) = &caller.item.container {
+                    out.push(c.type_name.clone());
+                } else {
+                    out.push(head.clone());
+                }
+                out.extend(path[1..].iter().cloned());
+                out
+            }
+            _ => {
+                if let Some(expansion) = self.lookup_alias(file, inline, head) {
+                    let mut out = expansion.clone();
+                    out.extend(path[1..].iter().cloned());
+                    return self.expand_crate_head(&out, &base);
+                }
+                if self.crate_idents.contains(head) {
+                    return path.to_vec();
+                }
+                // Relative to the defining module.
+                let mut out = caller.fq_module.clone();
+                out.extend(path.iter().cloned());
+                out
+            }
+        }
+    }
+
+    /// Resolve one call site to candidate callees.
+    ///
+    /// Returns `(candidates, confident)`: a *confident* resolution is a
+    /// path-qualified call (`RawDram::new()`, `helper()`, `Self::step()`)
+    /// that named its target; a non-confident one is a `.m()` method call
+    /// matched by bare name against every method called `m` in the
+    /// workspace.
+    #[must_use]
+    pub fn resolve_call(&self, caller: &FnNode, call: &CallSite) -> (Vec<FnId>, bool) {
+        if call.method {
+            let name = call.path.last().map(String::as_str).unwrap_or_default();
+            return (
+                self.methods_by_name.get(name).cloned().unwrap_or_default(),
+                false,
+            );
+        }
+        let resolved = self.resolve_path(caller, &call.path);
+        if resolved.len() >= 2 {
+            if let Some(ids) = self.free_fns.get(&resolved.join("::")) {
+                return (ids.clone(), true);
+            }
+            // Glob imports: `use other::*;` then `helper()`.
+            if call.path.len() == 1 {
+                if let Some(globs) = self.globs.get(caller.file) {
+                    for (_, prefix) in globs {
+                        let mut p = prefix.clone();
+                        p.push(call.path[0].clone());
+                        if let Some(ids) = self.free_fns.get(&p.join("::")) {
+                            return (ids.clone(), true);
+                        }
+                    }
+                }
+            }
+            // `Type::method` — the type is matched by bare name, so this
+            // also covers re-exported types (`use memprot::RawDram`).
+            let ty = &resolved[resolved.len() - 2];
+            let m = &resolved[resolved.len() - 1];
+            if let Some(ids) = self.methods_by_type.get(&(ty.clone(), m.clone())) {
+                return (ids.clone(), true);
+            }
+        }
+        (Vec::new(), true)
+    }
+
+    /// Resolve a variant reference (`VErr::Exhausted`, `Self::Poisoned`)
+    /// to `(enum bare name, variant name)` if its second-to-last segment
+    /// names (directly, via rename, or via `Self`) a workspace enum.
+    #[must_use]
+    pub fn resolve_variant_ref(&self, file: usize, r: &PathRef) -> Option<(String, String)> {
+        if r.path.len() < 2 {
+            return None;
+        }
+        let variant = r.path.last()?.clone();
+        let head = &r.path[r.path.len() - 2];
+        let enum_name = if head == "Self" {
+            r.container.clone()?
+        } else if let Some(expansion) = self.lookup_alias(file, &r.module, head) {
+            expansion.last()?.clone()
+        } else {
+            head.clone()
+        };
+        Some((enum_name, variant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn entry(path: &str, src: &str) -> FileEntry {
+        let lexed = lex(src);
+        FileEntry {
+            path: path.to_owned(),
+            parsed: parse(&lexed),
+            test_regions: lexed.test_regions,
+        }
+    }
+
+    fn node<'a>(ws: &'a Workspace, name: &str) -> &'a FnNode {
+        ws.fns
+            .iter()
+            .find(|f| f.item.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn crate_idents_and_file_modules() {
+        assert_eq!(crate_ident("crates/memprot/src/engine.rs"), "tnpu_memprot");
+        assert_eq!(crate_ident("crates/mem-prot/src/lib.rs"), "tnpu_mem_prot");
+        assert_eq!(crate_ident("src/lib.rs"), "tnpu");
+        assert_eq!(
+            file_module("crates/memprot/src/functional/dram.rs"),
+            vec!["functional", "dram"]
+        );
+        assert_eq!(
+            file_module("crates/memprot/src/functional/mod.rs"),
+            vec!["functional"]
+        );
+        assert!(file_module("crates/core/src/lib.rs").is_empty());
+        assert_eq!(
+            file_module("crates/core/tests/api.rs"),
+            vec!["tests", "api"]
+        );
+    }
+
+    #[test]
+    fn free_fn_resolution_absolute_relative_and_crate() {
+        let ws = Workspace::build(vec![
+            entry(
+                "crates/a/src/util.rs",
+                "pub fn helper() {}\npub fn caller() { helper(); crate::util::helper(); }\n",
+            ),
+            entry(
+                "crates/b/src/lib.rs",
+                "fn go() { tnpu_a::util::helper(); }\n",
+            ),
+        ]);
+        let caller = node(&ws, "caller");
+        let helper_id = ws.fns.iter().position(|f| f.item.name == "helper").unwrap();
+        for call in &caller.item.calls {
+            let (ids, confident) = ws.resolve_call(caller, call);
+            assert_eq!(ids, vec![helper_id], "call {:?}", call.path);
+            assert!(confident);
+        }
+        let go = node(&ws, "go");
+        let (ids, _) = ws.resolve_call(go, &go.item.calls[0]);
+        assert_eq!(ids, vec![helper_id]);
+    }
+
+    #[test]
+    fn use_renames_and_globs_resolve_cross_crate() {
+        let ws = Workspace::build(vec![
+            entry(
+                "crates/a/src/lib.rs",
+                "pub fn helper() {}\npub fn other() {}\n",
+            ),
+            entry(
+                "crates/b/src/lib.rs",
+                "use tnpu_a::helper as h;\nuse tnpu_a::*;\nfn go() { h(); other(); }\n",
+            ),
+        ]);
+        let go = node(&ws, "go");
+        let names: Vec<_> = go
+            .item
+            .calls
+            .iter()
+            .map(|c| {
+                let (ids, conf) = ws.resolve_call(go, c);
+                assert!(conf);
+                assert_eq!(ids.len(), 1, "call {:?}", c.path);
+                ws.fns[ids[0]].item.name.clone()
+            })
+            .collect();
+        assert_eq!(names, vec!["helper", "other"]);
+    }
+
+    #[test]
+    fn type_method_resolution_is_confident_and_method_calls_are_not() {
+        let ws = Workspace::build(vec![
+            entry(
+                "crates/memprot/src/functional/dram.rs",
+                "pub struct RawDram;\nimpl RawDram {\n  pub fn new() -> Self { RawDram }\n  pub fn read_block(&self) {}\n}\n",
+            ),
+            entry(
+                "crates/x/src/lib.rs",
+                "use tnpu_memprot::functional::dram::RawDram;\nfn f(d: RawDram) { RawDram::new(); d.read_block(); }\n",
+            ),
+        ]);
+        let f = node(&ws, "f");
+        let (ids, conf) = ws.resolve_call(f, &f.item.calls[0]);
+        assert!(conf);
+        assert_eq!(ws.fns[ids[0]].item.name, "new");
+        let (ids, conf) = ws.resolve_call(f, &f.item.calls[1]);
+        assert!(!conf, "dot calls are name-matched, not type-resolved");
+        assert_eq!(ws.fns[ids[0]].item.name, "read_block");
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let ws = Workspace::build(vec![entry(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl S {\n  fn a() { Self::b(); }\n  fn b() {}\n}\n",
+        )]);
+        let a = node(&ws, "a");
+        let (ids, conf) = ws.resolve_call(a, &a.item.calls[0]);
+        assert!(conf);
+        assert_eq!(ws.fns[ids[0]].item.name, "b");
+    }
+
+    #[test]
+    fn trait_impls_are_indexed() {
+        let ws = Workspace::build(vec![entry(
+            "crates/memprot/src/lib.rs",
+            "impl ProtectionEngine for TreelessEngine { fn scheme(&self) {} }\nimpl tnpu_memprot::FunctionalMemory for TreelessMemory { fn read(&self) {} }\n",
+        )]);
+        assert!(ws.trait_impls["TreelessEngine"].contains("ProtectionEngine"));
+        assert!(ws.trait_impls["TreelessMemory"].contains("FunctionalMemory"));
+    }
+
+    #[test]
+    fn variant_refs_resolve_through_renames_and_self() {
+        let ws = Workspace::build(vec![
+            entry("crates/core/src/version.rs", "pub enum VersionError { Exhausted }\n"),
+            entry(
+                "crates/x/src/lib.rs",
+                "use tnpu_core::version::VersionError as VErr;\nfn f(e: VErr) { match e { VErr::Exhausted => {} } }\n",
+            ),
+        ]);
+        let file_x = ws.files.iter().position(|f| f.path.contains("x")).unwrap();
+        let r = &ws.files[file_x].parsed.pattern_refs[0];
+        assert_eq!(
+            ws.resolve_variant_ref(file_x, r),
+            Some(("VersionError".to_owned(), "Exhausted".to_owned()))
+        );
+    }
+}

@@ -5,7 +5,7 @@
 use std::fs;
 use std::path::PathBuf;
 use tnpu_lint::config::Config;
-use tnpu_lint::lint_file;
+use tnpu_lint::{lint_file, lint_sources, Diagnostic};
 
 /// `(rule id, pretend workspace path the fixture is linted as)`.
 ///
@@ -24,6 +24,31 @@ const FIXTURES: &[(&str, &str)] = &[
     ("forbid-unsafe", "crates/demo/src/lib.rs"),
 ];
 
+/// `(rule id, pretend workspace path the fixture is linted as)` for the
+/// semantic families. Each fixture is linted inside a three-file
+/// mini-workspace: the raw-DRAM sink and a protection engine (the
+/// `engine-bypass` support files) plus the fixture itself, so call chains
+/// have a real sink and barrier to reach.
+const SEM_FIXTURES: &[(&str, &str)] = &[
+    ("engine-bypass", "crates/sim/src/fixture.rs"),
+    ("panic-path", "crates/core/src/fixture.rs"),
+    ("error-variant-consumption", "crates/core/src/fixture.rs"),
+];
+
+fn sem_lint(rule: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+    let dram = fixture("engine-bypass", "dram.rs");
+    let engine = fixture("engine-bypass", "engine.rs");
+    let sources = [
+        ("crates/memprot/src/functional/dram.rs", dram.as_str()),
+        ("crates/memprot/src/functional/mod.rs", engine.as_str()),
+        (path, src),
+    ];
+    lint_sources(&sources, &Config::default())
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect()
+}
+
 fn fixture(rule: &str, name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures/rules")
@@ -34,11 +59,57 @@ fn fixture(rule: &str, name: &str) -> String {
 
 #[test]
 fn every_rule_has_fixture_coverage() {
-    let covered: std::collections::BTreeSet<&str> =
-        FIXTURES.iter().map(|(rule, _)| *rule).collect();
-    let all: std::collections::BTreeSet<&str> =
-        tnpu_lint::rules::RULES.iter().map(|r| r.id).collect();
+    let covered: std::collections::BTreeSet<&str> = FIXTURES
+        .iter()
+        .chain(SEM_FIXTURES)
+        .map(|(rule, _)| *rule)
+        .collect();
+    let all: std::collections::BTreeSet<&str> = tnpu_lint::rules::RULES
+        .iter()
+        .map(|r| r.id)
+        .chain(tnpu_lint::rules::SEM_RULES.iter().map(|r| r.id))
+        .collect();
     assert_eq!(covered, all, "each rule needs a bad/good fixture pair");
+}
+
+#[test]
+fn bad_sem_fixtures_are_flagged() {
+    for (rule, path) in SEM_FIXTURES {
+        let src = fixture(rule, "bad.rs");
+        let hits = sem_lint(rule, path, &src);
+        assert!(
+            !hits.is_empty(),
+            "{rule}: bad.rs (as {path}) must produce at least one {rule} diagnostic"
+        );
+    }
+}
+
+#[test]
+fn good_sem_fixtures_pass() {
+    for (rule, path) in SEM_FIXTURES {
+        let src = fixture(rule, "good.rs");
+        let hits = sem_lint(rule, path, &src);
+        assert!(
+            hits.is_empty(),
+            "{rule}: good.rs (as {path}) must be clean, got: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn bypass_fixture_defeats_the_lexical_rule_but_not_the_semantic_one() {
+    // The acceptance case: the entry function launders the access through
+    // two helpers, so no `RawDram` token appears in it — the lexical rule
+    // can only point at the token lines, while the reachability rule
+    // reports the crossing at the entry's call site with a witness chain.
+    let src = fixture("engine-bypass", "bad.rs");
+    let hits = sem_lint("engine-bypass", "crates/sim/src/fixture.rs", &src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(
+        hits[0].message.contains("helper_two") && hits[0].message.contains("RawDram"),
+        "witness chain names the laundering helpers: {}",
+        hits[0].message
+    );
 }
 
 #[test]

@@ -1,0 +1,14 @@
+//! Support file for the semantic fixtures: the raw-DRAM sink, linted
+//! under the pretend path `crates/memprot/src/functional/dram.rs`.
+
+pub struct RawDram;
+
+impl RawDram {
+    pub fn new() -> Self {
+        RawDram
+    }
+
+    pub fn read_block(&self, _addr: u64) {}
+
+    pub fn write_block(&mut self, _addr: u64) {}
+}

@@ -1,0 +1,26 @@
+//! Support file for the semantic fixtures: a protection engine sanctioned
+//! to reach the raw-DRAM sink, linted under the pretend path
+//! `crates/memprot/src/functional/mod.rs`.
+
+use crate::functional::dram::RawDram;
+
+pub struct TreelessMemory {
+    dram: RawDram,
+}
+
+impl FunctionalMemory for TreelessMemory {
+    fn read_block(&mut self, addr: u64) {
+        self.dram.read_block(addr);
+        self.verify(addr);
+    }
+}
+
+impl TreelessMemory {
+    pub fn new() -> Self {
+        TreelessMemory {
+            dram: RawDram::new(),
+        }
+    }
+
+    fn verify(&self, _addr: u64) {}
+}

@@ -1,0 +1,11 @@
+//! GOOD: the same access routed through a protection engine. The engine's
+//! `.read_block()` shares its name with `RawDram`'s, and the name-matched
+//! method edge must not taint the caller — engines are the sanctioned
+//! barrier between tenant code and raw DRAM.
+
+use tnpu_memprot::functional::TreelessMemory;
+
+pub fn run() {
+    let mut mem = TreelessMemory::new();
+    mem.read_block(0);
+}

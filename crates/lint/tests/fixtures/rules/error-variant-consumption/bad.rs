@@ -1,0 +1,30 @@
+//! BAD: `VersionError::Exhausted` is constructed but its only "match" is
+//! the enum's own `Display` impl, which matches every variant by
+//! construction and therefore does not count as handling — the
+//! Exhausted-had-no-consumer bug class.
+
+pub enum VersionError {
+    Exhausted(u32),
+    Stale(u64),
+}
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionError::Exhausted(tensor) => write!(f, "versions exhausted on {tensor}"),
+            VersionError::Stale(at) => write!(f, "stale snapshot at {at}"),
+        }
+    }
+}
+
+pub fn bump() -> Result<(), VersionError> {
+    Err(VersionError::Exhausted(3))
+}
+
+pub fn snapshot() -> VersionError {
+    VersionError::Stale(0)
+}
+
+pub fn recover(e: &VersionError) -> bool {
+    matches!(e, VersionError::Stale(_))
+}

@@ -1,0 +1,32 @@
+//! GOOD: every variant is both constructed and consumed by a real handler
+//! outside the enum's own impl blocks — an exhaustive match, so adding a
+//! variant forces the consumer to decide what it means.
+
+pub enum VersionError {
+    Exhausted(u32),
+    Stale(u64),
+}
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionError::Exhausted(tensor) => write!(f, "versions exhausted on {tensor}"),
+            VersionError::Stale(at) => write!(f, "stale snapshot at {at}"),
+        }
+    }
+}
+
+pub fn bump() -> Result<(), VersionError> {
+    Err(VersionError::Exhausted(3))
+}
+
+pub fn snapshot() -> VersionError {
+    VersionError::Stale(0)
+}
+
+pub fn recover(e: &VersionError) -> bool {
+    match e {
+        VersionError::Exhausted(_) => true,
+        VersionError::Stale(_) => false,
+    }
+}

@@ -1,0 +1,20 @@
+//! BAD: a panic two private calls behind the public `Session` API — the
+//! attest-panics-on-dead-context bug class. Neither helper is `pub`, so
+//! only reachability ties the `unwrap` back to the API surface.
+
+pub struct Session;
+
+impl Session {
+    pub fn attest(&self) {
+        step_one();
+    }
+}
+
+fn step_one() {
+    step_two();
+}
+
+fn step_two() {
+    let state: Option<u32> = None;
+    state.unwrap();
+}

@@ -1,11 +1,12 @@
-//! The linter's acceptance gates: the real workspace lints clean, and the
-//! binary's exit codes match its contract (`0` clean / advisory, `1` under
-//! `--deny-all` with violations).
+//! The linter's acceptance gates: the real workspace lints clean (including
+//! the semantic rules and with no stale allow comments), and the binary's
+//! exit codes match its contract (`0` clean / advisory, `1` under
+//! `--deny-all` with violations, `2` tool errors).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use tnpu_lint::config::Config;
-use tnpu_lint::{lint_root, validate_config};
+use tnpu_lint::{lint_root, validate_config, DriverOptions};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -30,12 +31,23 @@ fn workspace_config(root: &Path) -> Config {
 fn the_workspace_lints_clean() {
     let root = workspace_root();
     let config = workspace_config(&root);
-    validate_config(&config).expect("config names only known rules");
-    let diagnostics = lint_root(&root, &config).expect("walk succeeds");
+    validate_config(&config).expect("config names only known rules and sane patterns");
+    let report = lint_root(&root, &config, &DriverOptions::default()).expect("walk succeeds");
     assert!(
-        diagnostics.is_empty(),
+        report.diagnostics.is_empty(),
         "the workspace must lint clean; violations:\n{}",
-        diagnostics
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "every allow comment must still suppress something; stale:\n{}",
+        report
+            .unused_allows
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
@@ -47,7 +59,7 @@ fn the_workspace_lints_clean() {
 fn deny_all_exits_zero_on_the_workspace() {
     let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
         .args(["--root", workspace_root().to_str().expect("utf-8 path")])
-        .arg("--deny-all")
+        .args(["--deny-all", "--deny-unused-allows", "--no-cache"])
         .output()
         .expect("binary runs");
     assert!(
@@ -62,7 +74,7 @@ fn deny_all_exits_nonzero_on_the_bad_workspace() {
     let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
     let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
         .args(["--root", bad_root.to_str().expect("utf-8 path")])
-        .arg("--deny-all")
+        .args(["--deny-all", "--no-cache"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1), "--deny-all must fail the build");
@@ -84,6 +96,7 @@ fn advisory_mode_reports_but_exits_zero() {
     let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
     let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
         .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .arg("--no-cache")
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "advisory mode never fails the build");
@@ -108,6 +121,13 @@ fn list_rules_names_every_rule() {
             rule.id
         );
     }
+    for rule in tnpu_lint::rules::SEM_RULES {
+        assert!(
+            stdout.contains(rule.id),
+            "--list-rules must mention semantic rule {}",
+            rule.id
+        );
+    }
 }
 
 #[test]
@@ -118,8 +138,106 @@ fn unknown_rule_in_config_is_a_tool_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
         .args(["--root", bad_root.to_str().expect("utf-8 path")])
         .args(["--config", config.to_str().expect("utf-8 path")])
+        .arg("--no-cache")
         .output()
         .expect("binary runs");
     std::fs::remove_file(&config).ok();
     assert_eq!(out.status.code(), Some(2), "config errors exit 2");
+}
+
+#[test]
+fn malformed_scope_pattern_in_config_is_a_tool_error() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let config = bad_root.join("bad-pattern-config.toml");
+    std::fs::write(
+        &config,
+        "[rules.wallclock]\ninclude = [\"crates/sim/**\"]\n",
+    )
+    .expect("writable");
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .args(["--config", config.to_str().expect("utf-8 path")])
+        .arg("--no-cache")
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&config).ok();
+    assert_eq!(out.status.code(), Some(2), "glob patterns exit 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("glob"),
+        "the error explains the problem"
+    );
+}
+
+#[test]
+fn sarif_output_has_the_2_1_0_shape() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let out = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .args(["--format", "sarif", "--deny-all", "--no-cache"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "--deny-all still governs exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"version\": \"2.1.0\"",
+        "\"name\": \"tnpu-lint\"",
+        "\"results\": [",
+        "\"uriBaseId\": \"%SRCROOT%\"",
+        "\"level\": \"error\"",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn baseline_ratchets_known_findings_away() {
+    let bad_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-bad");
+    let baseline = std::env::temp_dir().join(format!("tnpu-lint-baseline-{}", std::process::id()));
+    let write = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .args(["--write-baseline", baseline.to_str().expect("utf-8 path")])
+        .arg("--no-cache")
+        .output()
+        .expect("binary runs");
+    assert!(write.status.success(), "--write-baseline exits 0");
+    let replay = Command::new(env!("CARGO_BIN_EXE_tnpu-lint"))
+        .args(["--root", bad_root.to_str().expect("utf-8 path")])
+        .args(["--baseline", baseline.to_str().expect("utf-8 path")])
+        .args(["--deny-all", "--no-cache"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&baseline).ok();
+    assert!(
+        replay.status.success(),
+        "all findings baselined, so --deny-all passes; stdout:\n{}",
+        String::from_utf8_lossy(&replay.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&replay.stdout).is_empty(),
+        "baselined findings are not printed"
+    );
+}
+
+#[test]
+fn warm_cached_run_is_byte_identical_to_cold() {
+    // Run against the real workspace with a private cache dir: cold, then
+    // warm; stdout must match byte for byte and the warm run must reuse
+    // every record.
+    let root = workspace_root();
+    let cache_root =
+        std::env::temp_dir().join(format!("tnpu-lint-warm-test-{}", std::process::id()));
+    // The binary derives the cache dir from --root, so instead drive the
+    // library here with an explicit cache dir.
+    let config = workspace_config(&root);
+    let opts = DriverOptions {
+        threads: 0,
+        cache_dir: Some(cache_root.clone()),
+    };
+    let cold = lint_root(&root, &config, &opts).expect("cold run");
+    assert_eq!(cold.stats.cached, 0, "private cache dir starts empty");
+    let warm = lint_root(&root, &config, &opts).expect("warm run");
+    assert_eq!(warm.stats.cached, warm.stats.files, "warm run is all hits");
+    assert_eq!(cold.diagnostics, warm.diagnostics);
+    assert_eq!(cold.unused_allows, warm.unused_allows);
+    std::fs::remove_dir_all(&cache_root).ok();
 }

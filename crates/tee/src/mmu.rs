@@ -110,6 +110,8 @@ impl Mmu {
         }
         let perms = match eepcm.state(ppn) {
             crate::epcm::PageState::Protected { perms, .. } => perms,
+            // tnpu-lint: allow(panic-path) — validate() above errored out
+            // on any non-Protected page, so Free cannot reach this arm.
             crate::epcm::PageState::Free => unreachable!("validated pages are protected"),
         };
         if self.tlb.len() >= self.capacity {
