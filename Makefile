@@ -1,6 +1,6 @@
 # Convenience aliases for the checks CI runs. `make check` is the full gate.
 
-.PHONY: build test fmt clippy lint lint-sarif attacks faults serve check bench
+.PHONY: build test fmt clippy lint lint-sarif attacks faults serve decode check bench
 
 build:
 	cargo build --release --workspace --locked
@@ -43,6 +43,13 @@ faults:
 serve:
 	cargo run -p tnpu-bench --release --locked --bin serve -- --quick --deny-undetected
 
+# Dynamic-dataflow crossover (autoregressive decode + training churn):
+# sequence length x version limit x scheme with the tree-less scheme's
+# epoch sweeps amortized in, joined with the attack and fault matrices
+# on the decode model; both deny gates must hold.
+decode:
+	cargo run -p tnpu-bench --release --locked --bin decode -- --quick --deny-undetected --deny-corrupted
+
 # Perf-trajectory harness: run the full experiment matrix and append one
 # timing record (per-pool and total wall seconds, thread count, cell
 # count) to BENCH_sweep.json. stdout still carries the byte-stable
@@ -52,4 +59,4 @@ bench:
 	./target/release/experiments --bench-json BENCH_sweep.json all > /tmp/tnpu_bench_out.txt
 	diff -q results_full.txt /tmp/tnpu_bench_out.txt
 
-check: build test fmt clippy lint attacks faults serve
+check: build test fmt clippy lint attacks faults serve decode

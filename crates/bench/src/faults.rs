@@ -54,6 +54,11 @@ pub const DEFAULT_PERIODS: [u64; 2] = [101, 257];
 /// Inferences driven per cell.
 pub const PASSES: u64 = 5;
 
+/// Pass count for the decode smoke gate
+/// ([`matrix_with_threads_at`]) — enough for cross-inference version
+/// churn without the full matrix's serial cost.
+pub const QUICK_PASSES: u64 = 2;
+
 /// Version-exhaustion limit per cell — low enough that every cell
 /// consumes at least one re-encryption epoch sweep mid-matrix.
 pub const VERSION_LIMIT: u64 = 3;
@@ -165,10 +170,10 @@ fn pass_seed(model: &str, pass: u64) -> u64 {
 /// The fault-free reference outputs, one per pass (computed on
 /// unprotected memory: layer arithmetic digests plaintext, so the clean
 /// output is scheme-independent — the attack harness asserts this).
-fn reference_outputs(model: &Model) -> Vec<Vec<u8>> {
+fn reference_outputs(model: &Model, passes: u64) -> Vec<Vec<u8>> {
     let mut r = SecureRunner::with_memory(model, UnsecureMemory::new(), pass_seed(&model.name, 0));
     let mut refs = Vec::new();
-    for pass in 0..PASSES {
+    for pass in 0..passes {
         if pass > 0 {
             r.next_inference(pass_seed(&model.name, pass))
                 .expect("unprotected pass starts");
@@ -193,9 +198,10 @@ fn classify_error(e: &RunError) -> Resilience {
     }
 }
 
-/// Run one scheme × fault × rate cell: [`PASSES`] inferences under a
-/// seeded fault process, classified against `references`, with
-/// quarantine-and-continue on detection.
+/// Run one scheme × fault × rate cell: one inference per reference
+/// ([`PASSES`] in the full matrix) under a seeded fault process,
+/// classified against `references`, with quarantine-and-continue on
+/// detection.
 #[must_use]
 pub fn run_cell(
     model: &Model,
@@ -296,6 +302,21 @@ pub fn matrix_with_threads(
     models: &[&str],
     periods: &[u64],
 ) -> (Vec<FaultCell>, PoolReport) {
+    matrix_with_threads_at(threads, models, periods, PASSES)
+}
+
+/// [`matrix_with_threads`] at an explicit pass count. The decode smoke
+/// gate uses [`QUICK_PASSES`]: the dynamic models stream megabytes of
+/// (software-)crypto per inference, so the full five-pass matrix is a
+/// multi-minute serial run — two passes still exercise the
+/// cross-inference churn and quarantine-and-continue paths.
+#[must_use]
+pub fn matrix_with_threads_at(
+    threads: usize,
+    models: &[&str],
+    periods: &[u64],
+    passes: u64,
+) -> (Vec<FaultCell>, PoolReport) {
     let mut jobs = Vec::new();
     for &model in models {
         // Period-major, fault-major: the renderer emits one table per
@@ -314,7 +335,7 @@ pub fn matrix_with_threads(
         .iter()
         .map(|&name| {
             let m = registry::model(name).expect("registered model");
-            let refs = reference_outputs(&m);
+            let refs = reference_outputs(&m, passes);
             (name, (m, refs))
         })
         .collect();

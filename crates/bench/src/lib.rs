@@ -6,8 +6,10 @@
 //! The [`experiments`] module computes the data, fanning the experiment
 //! matrix out over the deterministic worker pool in [`sweep`] (results
 //! are byte-identical at any thread count); [`tables`] renders it in the
-//! row/series layout the paper plots. The `experiments` binary drives
-//! both:
+//! row/series layout the paper plots. The [`decode`] module adds the
+//! dynamic-dataflow crossover sweep (sequence length × version limit ×
+//! scheme) behind the `decode` binary. The `experiments` binary drives
+//! the static set:
 //!
 //! ```text
 //! cargo run --release -p tnpu-bench --bin experiments -- all
@@ -18,6 +20,7 @@
 
 pub mod ablations;
 pub mod attacks;
+pub mod decode;
 pub mod experiments;
 pub mod faults;
 pub mod serving;

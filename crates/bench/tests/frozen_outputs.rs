@@ -3,9 +3,11 @@
 //! the runner's retry/sweep plumbing) must not move a single byte of the
 //! outputs the repo has already published.
 //!
-//! Two renders are pinned against goldens under `tests/golden/`:
+//! The renders pinned against goldens under `tests/golden/`:
 //!
-//! * the full df+ncf adversarial attack matrix (56 cells), and
+//! * the full df+ncf adversarial attack matrix (56 cells),
+//! * the reduced serving grid,
+//! * the reduced dynamic-dataflow crossover grid, and
 //! * the reduced experiment sweep the determinism test drives (the same
 //!   tables `results_full.txt` is built from, at df/ncf scale).
 //!
@@ -17,7 +19,7 @@
 
 use std::path::PathBuf;
 
-use tnpu_bench::{attacks, experiments, serving, tables};
+use tnpu_bench::{attacks, decode, experiments, serving, tables};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -61,6 +63,21 @@ fn reduced_serving_table_is_frozen() {
     let (reports, _) = serving::serve_with_threads(4, true);
     assert_eq!(reports.len(), 16, "serving grid is 16 cells");
     check_golden("serve_reduced.txt", &serving::render_serve(&reports));
+}
+
+#[test]
+fn reduced_decode_grid_is_frozen() {
+    // The quick dynamic-dataflow crossover: per-step replay cycles for
+    // both workloads at every scheme, plus the functional lifecycle
+    // columns (sweeps, version-table growth, preemption bill) and the
+    // `<<` crossover markers must not drift.
+    let ((replays, lifecycles), _) = decode::crossover_with_threads(4, true);
+    assert_eq!(replays.len(), 16, "quick replay grid is 16 cells");
+    assert_eq!(lifecycles.len(), 8, "quick lifecycle grid is 8 cells");
+    check_golden(
+        "decode_reduced.txt",
+        &decode::render_crossover(&replays, &lifecycles),
+    );
 }
 
 #[test]

@@ -21,6 +21,9 @@
 //! * [`recovery`] — bounded re-fetch retry and re-encryption epoch
 //!   sweeps for *environmental* faults, with every recovery cycle
 //!   charged through the scheme's cost engine.
+//! * [`stepped`] — dynamic-dataflow sessions: autoregressive decode
+//!   whose KV caches grow their tile-version state every append, and
+//!   training loops whose weight rewrites churn through version limits.
 //! * [`attacks`] — the adversarial attack-injection harness: seeded
 //!   attacks against full functional inferences, classified into the
 //!   scheme × attack detection matrix of §III/§IV-C.
@@ -46,6 +49,7 @@ pub mod runspec;
 pub mod secure_runner;
 pub mod sensor;
 pub mod serving;
+pub mod stepped;
 pub mod system;
 pub mod version;
 

@@ -174,15 +174,20 @@ impl<M: FunctionalMemory> SecureRunner<M> {
         for li in 0..model.layers.len() {
             // tnpu-lint: allow(panic-path) — layout slots are per-layer.
             if let Some(w) = layout.weights[li] {
+                // A shared slot reuses the owner's already-initialized
+                // entry, but the layer still owns its *output* tensor —
+                // the guard must not skip the registration below (it once
+                // did, via a `continue`, which no static-suite model
+                // noticed because none of them tie weights; the dynamic
+                // decode/train models do and hit `UnknownTensor`).
                 // tnpu-lint: allow(panic-path) — layout slots are per-layer.
-                if model.layers[li].weights_shared_with.is_some() {
-                    continue; // the owner already initialized it
+                if model.layers[li].weights_shared_with.is_none() {
+                    table.register(w.id);
+                    // tnpu-lint: allow(panic-path) — bump directly follows register.
+                    let v = table.bump(w.id).expect("registered");
+                    let bytes = synth_bytes(seed, w.id, w.bytes);
+                    cpu.write_tensor(&mut mem, w.addr, v, &bytes);
                 }
-                table.register(w.id);
-                // tnpu-lint: allow(panic-path) — bump directly follows register.
-                let v = table.bump(w.id).expect("registered");
-                let bytes = synth_bytes(seed, w.id, w.bytes);
-                cpu.write_tensor(&mut mem, w.addr, v, &bytes);
             }
             // tnpu-lint: allow(panic-path) — layout slots are per-layer.
             table.register(layout.outputs[li].id);
@@ -531,10 +536,15 @@ impl<M: FunctionalMemory> SecureRunner<M> {
     /// 0, and rewrite the captured contents under version 1 of the new
     /// epoch. Reusing the low version numbers is sound *only* because the
     /// re-key kills every MAC bound under the old epoch. Never-written
-    /// tensors (version 0) are skipped and mid-production (tile-expanded)
-    /// tensors are dropped — their partial contents are re-produced by
-    /// the next inference. With recovery enabled, the full DMA + crypto
-    /// cost of the sweep is charged to `sweep_cycles`.
+    /// tensors (version 0) are skipped. Mid-production (tile-expanded)
+    /// tensors — a KV cache mid-sequence stays expanded for the whole
+    /// decode — are preserved tile by tile: each written tile is captured
+    /// under its own version, and after the re-key the entry is
+    /// re-expanded to the same tile count with written tiles rewritten at
+    /// version 1 and never-written tiles left at 0, so the producer sees
+    /// the same expansion shape in the new epoch. With recovery enabled,
+    /// the full DMA + crypto cost of the sweep is charged to
+    /// `sweep_cycles`.
     ///
     /// # Errors
     ///
@@ -542,44 +552,14 @@ impl<M: FunctionalMemory> SecureRunner<M> {
     /// after retries (persistent tampering). The failure is reported from
     /// the capture phase, *before* any key or version mutates.
     fn epoch_sweep(&mut self) -> Result<(), RunError> {
-        let mut saved: Vec<(TensorInfo, Vec<[u8; BLOCK_SIZE]>)> = Vec::new();
-        for t in self.live_tensors() {
-            if self.table.is_expanded(t.id)? {
-                continue;
-            }
-            let version = self.table.version(t.id, 0)?;
-            if version == 0 {
-                continue;
-            }
-            let blocks = t.bytes.div_ceil(BLOCK_SIZE as u64);
-            let mut data = Vec::with_capacity(blocks as usize);
-            for b in 0..blocks {
-                let addr = t.addr.offset(b * BLOCK_SIZE as u64);
-                let block = read_with_retry(&self.mem, self.recovery.as_mut(), addr, version)?;
-                if let Some(rec) = self.recovery.as_mut() {
-                    rec.charge_sweep_read(addr, version);
-                }
-                data.push(block);
-            }
-            saved.push((t, data));
-        }
-        self.epoch = self.epoch.wrapping_add(1);
-        self.mem.rekey(self.epoch);
-        self.table.reset_epoch();
-        for (t, data) in saved {
-            let version = self.table.bump(t.id)?; // 0 -> 1 under the new epoch
-            for (b, block) in data.into_iter().enumerate() {
-                let addr = t.addr.offset(b as u64 * BLOCK_SIZE as u64);
-                self.mem.write_block(addr, version, block);
-                if let Some(rec) = self.recovery.as_mut() {
-                    rec.charge_sweep_write(addr, version);
-                }
-            }
-        }
-        if let Some(rec) = self.recovery.as_mut() {
-            rec.note_sweep();
-        }
-        Ok(())
+        let live = self.live_tensors();
+        epoch_sweep_tensors(
+            &live,
+            &mut self.table,
+            &mut self.mem,
+            self.recovery.as_mut(),
+            &mut self.epoch,
+        )
     }
 
     /// Attempt to lift the quarantine after a failure: run an epoch sweep
@@ -647,6 +627,111 @@ impl<M: FunctionalMemory> SecureRunner<M> {
     }
 }
 
+/// The shared body of the re-encryption epoch sweep, over an explicit
+/// tensor set — used by [`SecureRunner`] for whole-model sweeps and by the
+/// stepped dynamic-dataflow sessions (`crate::stepped`), whose KV caches
+/// stay tile-expanded across the whole decode.
+///
+/// Capture-verify every live tensor under the current epoch, rotate the
+/// memory keys, reset every version, and rewrite the captured contents at
+/// version 1 of the new epoch. Single-entry tensors at version 0 are
+/// skipped (never written). Tile-expanded tensors keep their expansion
+/// shape: written tiles (version > 0) are captured under their own
+/// versions and rewritten at 1; never-written tiles stay at 0; the tile
+/// count survives, so a mid-sequence producer sees the identical shape in
+/// the new epoch. Tile geometry is [`TILE_BYTES`], matching both the
+/// layer producer and the stepped KV-append path.
+pub(crate) fn epoch_sweep_tensors<M: FunctionalMemory>(
+    tensors: &[TensorInfo],
+    table: &mut VersionTable,
+    mem: &mut M,
+    mut recovery: Option<&mut Recovery>,
+    epoch: &mut u64,
+) -> Result<(), RunError> {
+    let mut saved: Vec<(TensorInfo, Vec<[u8; BLOCK_SIZE]>)> = Vec::new();
+    // (tensor, expansion tile count, written tiles with their blocks)
+    type SavedTile = (u32, Vec<[u8; BLOCK_SIZE]>);
+    let mut saved_expanded: Vec<(TensorInfo, u32, Vec<SavedTile>)> = Vec::new();
+    for &t in tensors {
+        if table.is_expanded(t.id)? {
+            let count = table.tile_count(t.id)?;
+            let mut tiles: Vec<SavedTile> = Vec::new();
+            for tile in 0..count {
+                let tile_base = u64::from(tile) * TILE_BYTES;
+                if tile_base >= t.bytes {
+                    break; // expansion past the allocation holds no data
+                }
+                let version = table.version(t.id, tile)?;
+                if version == 0 {
+                    continue; // never-written tile: nothing to capture
+                }
+                let tile_len = TILE_BYTES.min(t.bytes - tile_base);
+                let blocks = tile_len.div_ceil(BLOCK_SIZE as u64);
+                let mut data = Vec::with_capacity(blocks as usize);
+                for b in 0..blocks {
+                    let addr = t.addr.offset(tile_base + b * BLOCK_SIZE as u64);
+                    let block = read_with_retry(mem, recovery.as_deref_mut(), addr, version)?;
+                    if let Some(rec) = recovery.as_deref_mut() {
+                        rec.charge_sweep_read(addr, version);
+                    }
+                    data.push(block);
+                }
+                tiles.push((tile, data));
+            }
+            saved_expanded.push((t, count, tiles));
+            continue;
+        }
+        let version = table.version(t.id, 0)?;
+        if version == 0 {
+            continue;
+        }
+        let blocks = t.bytes.div_ceil(BLOCK_SIZE as u64);
+        let mut data = Vec::with_capacity(blocks as usize);
+        for b in 0..blocks {
+            let addr = t.addr.offset(b * BLOCK_SIZE as u64);
+            let block = read_with_retry(mem, recovery.as_deref_mut(), addr, version)?;
+            if let Some(rec) = recovery.as_deref_mut() {
+                rec.charge_sweep_read(addr, version);
+            }
+            data.push(block);
+        }
+        saved.push((t, data));
+    }
+    *epoch = epoch.wrapping_add(1);
+    mem.rekey(*epoch);
+    table.reset_epoch();
+    for (t, data) in saved {
+        let version = table.bump(t.id)?; // 0 -> 1 under the new epoch
+        for (b, block) in data.into_iter().enumerate() {
+            let addr = t.addr.offset(b as u64 * BLOCK_SIZE as u64);
+            mem.write_block(addr, version, block);
+            if let Some(rec) = recovery.as_deref_mut() {
+                rec.charge_sweep_write(addr, version);
+            }
+        }
+    }
+    for (t, count, tiles) in saved_expanded {
+        // reset_epoch collapsed the entry to Single(0); restore the
+        // expansion shape, then rewrite each written tile at 1.
+        table.expand(t.id, count)?;
+        for (tile, data) in tiles {
+            let version = table.bump_tile(t.id, tile)?; // 0 -> 1
+            let tile_base = u64::from(tile) * TILE_BYTES;
+            for (b, block) in data.into_iter().enumerate() {
+                let addr = t.addr.offset(tile_base + b as u64 * BLOCK_SIZE as u64);
+                mem.write_block(addr, version, block);
+                if let Some(rec) = recovery.as_deref_mut() {
+                    rec.charge_sweep_write(addr, version);
+                }
+            }
+        }
+    }
+    if let Some(rec) = recovery {
+        rec.note_sweep();
+    }
+    Ok(())
+}
+
 /// One verified read with the recovery retry budget. Without recovery
 /// this is exactly `mem.read_block` — the first result, pass or fail.
 /// With recovery, errors whose cause a re-fetch can plausibly clear (a
@@ -656,7 +741,7 @@ impl<M: FunctionalMemory> SecureRunner<M> {
 /// mismatches are *semantic* — replayed or relocated ciphertext that
 /// re-reading the same state cannot fix — and escalate immediately, so
 /// retries never launder a replay into a recovery.
-fn read_with_retry<M: FunctionalMemory>(
+pub(crate) fn read_with_retry<M: FunctionalMemory>(
     mem: &M,
     recovery: Option<&mut Recovery>,
     addr: Addr,
@@ -728,7 +813,7 @@ pub fn sweep_clearable(e: &RunError) -> bool {
 }
 
 /// Deterministic synthetic tensor contents.
-fn synth_bytes(seed: u64, tensor: u32, len: u64) -> Vec<u8> {
+pub(crate) fn synth_bytes(seed: u64, tensor: u32, len: u64) -> Vec<u8> {
     let mut rng = SplitMix64::new(seed.wrapping_add(u64::from(tensor) << 32));
     let mut out = Vec::with_capacity(len as usize);
     while (out.len() as u64) < len {
@@ -738,7 +823,7 @@ fn synth_bytes(seed: u64, tensor: u32, len: u64) -> Vec<u8> {
     out
 }
 
-fn seeded_from(state: &[u8; 32], tile: u32) -> SplitMix64 {
+pub(crate) fn seeded_from(state: &[u8; 32], tile: u32) -> SplitMix64 {
     let mut seed = [0u8; 8];
     // tnpu-lint: allow(panic-path) — `[..8]` of a `[u8; 32]` parameter.
     seed.copy_from_slice(&state[..8]);

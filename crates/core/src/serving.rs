@@ -369,8 +369,11 @@ struct ModelData {
     durations: Vec<u64>,
     /// Unsecure end-to-end cycles (offered-load normalization).
     unsecure_total: u64,
-    /// Bytes of the live version table a treeless switch must spill:
-    /// one [`ENTRY_BYTES`] entry per registered tensor.
+    /// Bytes of the version table a treeless switch must spill when the
+    /// table is fully merged: one [`ENTRY_BYTES`] entry per registered
+    /// tensor. This is the modeled fallback — a context holding a
+    /// tile-expanded tensor at switch time spills more, and the charge
+    /// sites prefer the live size from the runner or its snapshot.
     vt_bytes: u64,
     /// Functional-memory size in blocks.
     data_blocks: u64,
@@ -447,17 +450,21 @@ fn model_data_uncached(
 }
 
 /// Charges context-switch traffic through the cell's protection engine.
-struct Switcher {
+///
+/// Crate-visible so the stepped decode/train sessions
+/// ([`crate::stepped`]) bill their mid-sequence preemptions through the
+/// exact same cost model as the serving plane.
+pub(crate) struct Switcher {
     scheme: Scheme,
     engine: Box<dyn ProtectionEngine>,
     bandwidth: BandwidthModel,
     dram: DramTiming,
-    cycles: u64,
-    meta_bytes: u64,
+    pub(crate) cycles: u64,
+    pub(crate) meta_bytes: u64,
 }
 
 impl Switcher {
-    fn new(scheme: Scheme, config: &NpuConfig) -> Self {
+    pub(crate) fn new(scheme: Scheme, config: &NpuConfig) -> Self {
         Switcher {
             scheme,
             engine: build_engine(scheme, &ProtectionConfig::paper_default()),
@@ -472,7 +479,15 @@ impl Switcher {
     /// flush + TLB shoot-down); otherwise a switch-in (reload + NELRANGE
     /// re-programming). Unsecure contexts have nothing to save and no
     /// enclave to tear down: exactly zero.
-    fn charge(&mut self, vt_bytes: u64, out: bool) -> u64 {
+    ///
+    /// `vt_bytes` must be the *live* table size — a tensor that is
+    /// tile-expanded at switch time (a decode session's KV cache
+    /// mid-sequence) spills one entry per tile, not one per tensor.
+    /// Callers with a running [`SecureRunner`] or a [`RunnerSnapshot`]
+    /// take the size from there; the modeled (non-functional) path may
+    /// use the static per-tensor count only because static models are
+    /// fully merged at every layer boundary.
+    pub(crate) fn charge(&mut self, vt_bytes: u64, out: bool) -> u64 {
         if self.scheme == Scheme::Unsecure {
             return 0;
         }
@@ -723,9 +738,15 @@ pub fn simulate(spec: &ServeSpec) -> ServeReport {
                         finish: now,
                         preemptions: ctx.preemptions,
                     });
+                    // Spill the live table: per-tile entries for any
+                    // still-expanded tensor, not the per-tensor count.
+                    let vt_bytes = ctx
+                        .runner
+                        .as_ref()
+                        .map_or(md.vt_bytes, |r| r.version_table().storage_bytes());
                     ctx.runner = None;
                     done += 1;
-                    let out_cycles = switcher.charge(md.vt_bytes, true);
+                    let out_cycles = switcher.charge(vt_bytes, true);
                     push(&mut events, &mut seq, now + out_cycles, Event::NpuFree(npu));
                     if issued < spec.requests {
                         // Closed loop: the finishing client submits its
@@ -747,7 +768,13 @@ pub fn simulate(spec: &ServeSpec) -> ServeReport {
                             ctx.snapshot = Some(runner.suspend().expect("clean suspend"));
                         }
                         pending.insert((my_rank, req as u64));
-                        let out_cycles = switcher.charge(md.vt_bytes, true);
+                        // The snapshot carries the live table image —
+                        // bill exactly what it spills.
+                        let vt_bytes = ctx
+                            .snapshot
+                            .as_ref()
+                            .map_or(md.vt_bytes, RunnerSnapshot::table_bytes);
+                        let out_cycles = switcher.charge(vt_bytes, true);
                         push(&mut events, &mut seq, now + out_cycles, Event::NpuFree(npu));
                     } else {
                         let dur = md.durations[ctx.next_layer];
@@ -774,7 +801,13 @@ pub fn simulate(spec: &ServeSpec) -> ServeReport {
             let ctx = ctxs[rid].as_mut().expect("pending context exists");
             let entry = &spec.mix.entries[ctx.entry];
             let md = &data[entry.model.as_str()];
-            let in_cycles = switcher.charge(md.vt_bytes, false);
+            // A resumption reloads the snapshot's table image; a first
+            // dispatch loads the freshly registered (merged) table.
+            let vt_bytes = ctx
+                .snapshot
+                .as_ref()
+                .map_or(md.vt_bytes, RunnerSnapshot::table_bytes);
+            let in_cycles = switcher.charge(vt_bytes, false);
             dispatches += 1;
             if let Some(snapshot) = ctx.snapshot.take() {
                 if let Some(runner) = ctx.runner.as_mut() {
@@ -1009,6 +1042,57 @@ mod tests {
         assert_eq!(r.latency_percentile(100), 100);
         assert_eq!(r.mean_latency(), 55);
         assert_eq!(r.milli_requests_per_mcycle(), 100_000_000);
+    }
+
+    /// The spill-sizing fix: a context whose table holds a tile-expanded
+    /// tensor (a mid-sequence KV cache) must be billed one entry per
+    /// tile. Same tensor count, more tiles, strictly costlier treeless
+    /// switch — while the tree-based scheme, which keeps no software
+    /// table, charges identically either way.
+    #[test]
+    fn expanded_tensor_spill_charges_per_tile_entries() {
+        let config = NpuConfig::small_npu();
+        // Three merged tensors vs the same three with one expanded to
+        // 16 tiles (3 - 1 + 16 entries).
+        let merged = 3 * ENTRY_BYTES;
+        let expanded = (2 + 16) * ENTRY_BYTES;
+        let charge_once = |scheme: Scheme, vt: u64| {
+            let mut sw = Switcher::new(scheme, &config);
+            let cycles = sw.charge(vt, true);
+            (cycles, sw.meta_bytes)
+        };
+        let (tl_merged, tl_merged_meta) = charge_once(Scheme::Treeless, merged);
+        let (tl_exp, tl_exp_meta) = charge_once(Scheme::Treeless, expanded);
+        assert!(
+            tl_exp > tl_merged,
+            "per-tile entries must cost cycles ({tl_exp} vs {tl_merged})"
+        );
+        assert!(
+            tl_exp_meta > tl_merged_meta,
+            "per-tile entries must move metadata ({tl_exp_meta} vs {tl_merged_meta})"
+        );
+        let (tb_merged, _) = charge_once(Scheme::TreeBased, merged);
+        let (tb_exp, _) = charge_once(Scheme::TreeBased, expanded);
+        assert_eq!(
+            tb_merged, tb_exp,
+            "tree-based spills engine state alone, no version table"
+        );
+    }
+
+    /// Static models are fully merged at every layer boundary, so the
+    /// live table a functional run spills equals the modeled per-tensor
+    /// fallback — the spill-sizing fix cannot move the quick serving
+    /// grid (and `serve_reduced.txt` stays byte-identical).
+    #[test]
+    fn functional_switch_charges_match_modeled() {
+        let mut functional = contended(Scheme::Treeless, Policy::Preemptive);
+        functional.functional = true;
+        let modeled = contended(Scheme::Treeless, Policy::Preemptive);
+        let rf = simulate(&functional);
+        let rm = simulate(&modeled);
+        assert!(rf.preemptions > 0, "the comparison needs live snapshots");
+        assert_eq!(rf.switch_cycles, rm.switch_cycles);
+        assert_eq!(rf.switch_meta_bytes, rm.switch_meta_bytes);
     }
 
     #[test]

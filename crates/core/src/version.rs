@@ -52,7 +52,9 @@ pub enum VersionError {
     /// not all completed the same number of updates, so collapsing to one
     /// number would lose information and break replay detection.
     TilesNotUniform(TensorId),
-    /// Expand requested on an already-expanded tensor.
+    /// Expand requested on an already-expanded tensor without growing it
+    /// (the tile count did not exceed the current expansion — a shrink or
+    /// a silent no-op, both refused).
     AlreadyExpanded(TensorId),
     /// Tile-granular operation on a non-expanded tensor.
     NotExpanded(TensorId),
@@ -265,15 +267,38 @@ impl VersionTable {
     /// stale ciphertext — exactly the replay the version numbers exist to
     /// prevent.
     ///
+    /// Expanding an *already-expanded* tensor with a larger tile count
+    /// grows it in place — the KV-cache append path, where a tensor gains
+    /// one tile per decode step and is never merged mid-sequence. Existing
+    /// tile versions are preserved exactly; appended tiles start at the
+    /// current **maximum** tile version. The maximum is the only sound
+    /// seed: every version the tensor's tiles ever carried is bounded by
+    /// the entry-wide maximum (bumps are monotone, merge requires
+    /// uniformity, and fresh expansion propagates the single value), so
+    /// the appended tiles' first `bump_tile` produces a version strictly
+    /// greater than anything ever MAC'd at those addresses — no rewind,
+    /// even if the tensor was expanded, merged, and re-expanded before.
+    ///
     /// [`merge`]: VersionTable::merge
     ///
     /// # Errors
     ///
-    /// [`VersionError::UnknownTensor`] / [`VersionError::AlreadyExpanded`].
+    /// [`VersionError::UnknownTensor`]; [`VersionError::AlreadyExpanded`]
+    /// if the tensor is expanded and `tiles` does not exceed the current
+    /// tile count (a shrink would drop live tile versions, and a same-size
+    /// expand would be a silent no-op — both are caller bugs).
     pub fn expand(&mut self, tensor: TensorId, tiles: u32) -> Result<(), VersionError> {
         match self.entries.get_mut(&tensor) {
             None => Err(VersionError::UnknownTensor(tensor)),
-            Some(VersionEntry::Expanded(_)) => Err(VersionError::AlreadyExpanded(tensor)),
+            Some(VersionEntry::Expanded(existing)) => {
+                if tiles as usize <= existing.len() {
+                    return Err(VersionError::AlreadyExpanded(tensor));
+                }
+                let seed = existing.iter().copied().max().unwrap_or(0);
+                existing.resize(tiles as usize, seed);
+                self.update_peak();
+                Ok(())
+            }
             Some(entry) => {
                 let VersionEntry::Single(v) = *entry else {
                     // tnpu-lint: allow(panic-path) — the Expanded arm above
@@ -340,8 +365,10 @@ impl VersionTable {
     }
 
     /// Whether the tensor's entry is currently tile-expanded (the tensor
-    /// is mid-production). The epoch sweep skips such tensors: their
-    /// contents are partial and will be fully re-produced anyway.
+    /// is mid-production). The epoch sweep preserves such tensors tile by
+    /// tile — a dynamic-dataflow tensor (a KV cache mid-sequence) may
+    /// stay expanded across many steps, so its written tiles and its
+    /// expansion shape must survive the sweep.
     ///
     /// # Errors
     ///
@@ -351,6 +378,20 @@ impl VersionTable {
             None => Err(VersionError::UnknownTensor(tensor)),
             Some(VersionEntry::Single(_)) => Ok(false),
             Some(VersionEntry::Expanded(_)) => Ok(true),
+        }
+    }
+
+    /// Number of tile entries the tensor currently holds: the expansion
+    /// length for an expanded entry, 1 for a `Single` entry.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::UnknownTensor`].
+    pub fn tile_count(&self, tensor: TensorId) -> Result<u32, VersionError> {
+        match self.entries.get(&tensor) {
+            None => Err(VersionError::UnknownTensor(tensor)),
+            Some(VersionEntry::Single(_)) => Ok(1),
+            Some(VersionEntry::Expanded(tiles)) => Ok(tiles.len() as u32),
         }
     }
 
@@ -482,10 +523,65 @@ mod tests {
 
     #[test]
     fn double_expand_rejected() {
+        // Same-size and shrinking re-expansion stay refused: a shrink
+        // would drop live tile versions and a same-size expand would be a
+        // silent no-op. Only a *growing* expand (the KV-append path) is
+        // legal on an expanded tensor.
         let mut t = table_with(0);
         t.expand(0, 2).expect("expand");
         assert_eq!(t.expand(0, 2), Err(VersionError::AlreadyExpanded(0)));
+        assert_eq!(t.expand(0, 1), Err(VersionError::AlreadyExpanded(0)));
+        assert_eq!(t.expand(0, 0), Err(VersionError::AlreadyExpanded(0)));
         assert_eq!(t.bump(0), Err(VersionError::AlreadyExpanded(0)));
+    }
+
+    #[test]
+    fn expand_grow_preserves_existing_tile_versions() {
+        // The KV-cache append path: each decode step grows the expansion
+        // by one tile. Existing tiles keep their exact versions; the new
+        // tile starts at the current maximum so its first bump can never
+        // collide with a version already MAC'd at that address.
+        let mut t = table_with(0);
+        t.expand(0, 2).expect("expand");
+        t.bump_tile(0, 0).expect("bump");
+        t.bump_tile(0, 0).expect("bump");
+        t.bump_tile(0, 1).expect("bump");
+        t.expand(0, 4).expect("grow");
+        assert_eq!(t.version(0, 0), Ok(2), "existing tile preserved");
+        assert_eq!(t.version(0, 1), Ok(1), "existing tile preserved");
+        assert_eq!(t.version(0, 2), Ok(2), "fresh tile seeded at the max");
+        assert_eq!(t.version(0, 3), Ok(2), "fresh tile seeded at the max");
+        assert_eq!(t.bump_tile(0, 3), Ok(3), "first write is above the max");
+    }
+
+    #[test]
+    fn expand_grow_after_merge_and_reexpand_never_rewinds() {
+        // A tensor that was expanded to 4 tiles, merged, and re-expanded
+        // to 2 tiles still remembers (via the max seed) that tiles 2..4
+        // once carried version 3: growing back to 4 must not hand those
+        // addresses a lower version.
+        let mut t = table_with(0);
+        t.expand(0, 4).expect("expand");
+        for _ in 0..3 {
+            for tile in 0..4 {
+                t.bump_tile(0, tile).expect("bump");
+            }
+        }
+        assert_eq!(t.merge(0), Ok(3));
+        t.expand(0, 2).expect("re-expand");
+        t.expand(0, 4).expect("grow back");
+        assert_eq!(t.version(0, 2), Ok(3), "no rewind below the old version");
+        assert_eq!(t.bump_tile(0, 2), Ok(4));
+    }
+
+    #[test]
+    fn expand_grow_updates_storage_and_peak() {
+        let mut t = table_with(0);
+        t.expand(0, 2).expect("expand");
+        assert_eq!(t.storage_bytes(), 2 * ENTRY_BYTES);
+        t.expand(0, 5).expect("grow");
+        assert_eq!(t.storage_bytes(), 5 * ENTRY_BYTES);
+        assert_eq!(t.peak_storage_bytes(), 5 * ENTRY_BYTES);
     }
 
     #[test]
@@ -827,6 +923,138 @@ mod proptests {
                     prop_assert_eq!(table.is_expanded(t).unwrap(), expanded);
                 }
                 prop_assert_eq!(table.storage_bytes(), frozen_storage);
+            }
+        }
+
+        /// Expand-grow against a plain reference model: a `Vec<u64>` per
+        /// tensor mirrors what the table must hold under any interleaving
+        /// of expand / expand-grow / `bump_tile` / `merge` /
+        /// `snapshot`+`restore`. The reference applies the KV-append rule
+        /// directly (grow appends tiles at the running maximum), so any
+        /// divergence — a rewound tile, a dropped version, a silent no-op
+        /// grow — fails the comparison.
+        #[test]
+        fn expand_grow_tracks_reference_model_under_any_interleaving(
+            ops in prop::collection::vec((0u8..6, 0u32..TENSORS, 0u32..10), 1..64),
+        ) {
+            // Reference: per-tensor tile versions (len 1 + not-expanded
+            // flag models Single).
+            #[derive(Clone)]
+            struct RefEntry { tiles: Vec<u64>, expanded: bool }
+            let mut table = VersionTable::new();
+            let mut model: Vec<RefEntry> = (0..TENSORS)
+                .map(|t| {
+                    table.register(t);
+                    RefEntry { tiles: vec![0], expanded: false }
+                })
+                .collect();
+            let mut saved: Option<(VersionSnapshot, Vec<RefEntry>)> = None;
+            for (op, tensor, arg) in ops {
+                let entry = &mut model[tensor as usize];
+                match op {
+                    0 => {
+                        // expand or expand-grow
+                        let res = table.expand(tensor, arg);
+                        if entry.expanded {
+                            if (arg as usize) > entry.tiles.len() {
+                                prop_assert_eq!(res, Ok(()));
+                                let seed =
+                                    entry.tiles.iter().copied().max().unwrap_or(0);
+                                entry.tiles.resize(arg as usize, seed);
+                            } else {
+                                prop_assert_eq!(
+                                    res,
+                                    Err(VersionError::AlreadyExpanded(tensor))
+                                );
+                            }
+                        } else {
+                            prop_assert_eq!(res, Ok(()));
+                            let v = entry.tiles[0];
+                            entry.tiles = vec![v; arg.max(1) as usize];
+                            entry.expanded = true;
+                        }
+                    }
+                    1 => {
+                        // bump_tile
+                        let res = table.bump_tile(tensor, arg);
+                        if !entry.expanded {
+                            prop_assert_eq!(
+                                res,
+                                Err(VersionError::NotExpanded(tensor))
+                            );
+                        } else if let Some(slot) =
+                            entry.tiles.get_mut(arg as usize)
+                        {
+                            *slot += 1;
+                            prop_assert_eq!(res, Ok(*slot));
+                        } else {
+                            prop_assert_eq!(
+                                res,
+                                Err(VersionError::NoSuchTile { tensor, tile: arg })
+                            );
+                        }
+                    }
+                    2 => {
+                        // merge
+                        let res = table.merge(tensor);
+                        if !entry.expanded {
+                            prop_assert_eq!(
+                                res,
+                                Err(VersionError::NotExpanded(tensor))
+                            );
+                        } else if entry.tiles.windows(2).all(|w| w[0] == w[1]) {
+                            let v = entry.tiles[0];
+                            prop_assert_eq!(res, Ok(v));
+                            entry.tiles = vec![v];
+                            entry.expanded = false;
+                        } else {
+                            prop_assert_eq!(
+                                res,
+                                Err(VersionError::TilesNotUniform(tensor))
+                            );
+                        }
+                    }
+                    3 => {
+                        // bump (whole tensor)
+                        let res = table.bump(tensor);
+                        if entry.expanded {
+                            prop_assert_eq!(
+                                res,
+                                Err(VersionError::AlreadyExpanded(tensor))
+                            );
+                        } else {
+                            entry.tiles[0] += 1;
+                            prop_assert_eq!(res, Ok(entry.tiles[0]));
+                        }
+                    }
+                    4 => {
+                        // snapshot (epoch 0 throughout: no sweeps here, the
+                        // staleness interleaving has its own proptest)
+                        saved = Some((table.snapshot(0), model.clone()));
+                    }
+                    _ => {
+                        // restore, when a snapshot exists
+                        if let Some((snap, ref_model)) = &saved {
+                            table.restore(snap, 0).expect("same-epoch restore");
+                            model = ref_model.clone();
+                        }
+                    }
+                }
+                // After every op the table must agree with the reference
+                // on every tile version and the storage footprint.
+                let mut expect_bytes = 0u64;
+                for (t, entry) in model.iter().enumerate() {
+                    let t = t as u32;
+                    prop_assert_eq!(
+                        table.is_expanded(t).expect("registered"),
+                        entry.expanded
+                    );
+                    expect_bytes += entry.tiles.len() as u64 * ENTRY_BYTES;
+                    for (tile, &v) in entry.tiles.iter().enumerate() {
+                        prop_assert_eq!(table.version(t, tile as u32), Ok(v));
+                    }
+                }
+                prop_assert_eq!(table.storage_bytes(), expect_bytes);
             }
         }
 

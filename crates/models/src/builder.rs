@@ -243,6 +243,29 @@ impl ModelBuilder {
         self
     }
 
+    /// Apply `f` to the builder `n` times, passing the repetition index —
+    /// the natural way to express a stack of identical blocks (decoder
+    /// layers, residual stages) without threading the builder through a
+    /// manual loop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnpu_models::ModelBuilder;
+    ///
+    /// let model = ModelBuilder::new("t", "t", (3, 32, 32))
+    ///     .repeat(3, |b, i| b.conv(&format!("c{i}"), 16, 3, 1, 1))
+    ///     .build();
+    /// assert_eq!(model.layers.len(), 3);
+    /// ```
+    #[must_use]
+    pub fn repeat(mut self, n: usize, mut f: impl FnMut(Self, usize) -> Self) -> Self {
+        for i in 0..n {
+            self = f(self, i);
+        }
+        self
+    }
+
     /// Mark the most recent layer as sharing its weight tensor with layer
     /// `index` (tied weights).
     ///

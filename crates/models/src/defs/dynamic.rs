@@ -1,0 +1,187 @@
+//! Dynamic-dataflow workloads: autoregressive decode and training steps.
+//!
+//! The paper's 14 benchmarks (Table III) are all static-dataflow — each
+//! tensor is written exactly once per inference, which is the assumption
+//! the tree-less scheme's single-version-per-tensor design rests on
+//! (§III-A). These two models exist to break that assumption on purpose:
+//!
+//! * [`decode`] — one step of autoregressive transformer decoding. The
+//!   per-layer K/V caches are "weight" tensors of the attention matmuls
+//!   (layer names carry a `k_cache` / `v_cache` marker) that a stepped
+//!   runner appends to every step: their version state is tile-expanded
+//!   on each append and never merged mid-sequence.
+//! * [`train`] — one SGD iteration of a small MLP (forward plus
+//!   weight-gradient GEMMs). Every weight tensor is rewritten each
+//!   iteration, so versions churn at the iteration rate and exhaust
+//!   small version limits quickly.
+//!
+//! Both are registered under [`crate::registry::DYNAMIC_MODEL_NAMES`],
+//! deliberately outside the Table III `MODEL_NAMES` suite so the static
+//! figures stay byte-identical.
+
+use crate::{Model, ModelBuilder};
+
+/// Decoder context length the fixed registry entry ([`decode`]) models:
+/// the K/V caches hold this many tokens. At `d_model = 256` one token's
+/// cache entry is 512 B, so a full sequence spans several 16 KB version
+/// tiles — the KV version state must *grow* its expansion mid-sequence.
+pub const DECODE_CTX: u64 = 128;
+
+/// Decoder depth shared by every [`decode_step`] instance.
+pub const DECODE_LAYERS: usize = 2;
+
+/// Model width (`d_model`) of the decode workload.
+pub const DECODE_DIM: u64 = 256;
+
+/// Marker substring in attention-matmul layer names whose weight operand
+/// is a per-sequence cache tensor rather than a trained parameter.
+/// Stepped runners use it to find the tensors that grow per step.
+pub const CACHE_MARKER: &str = "_cache";
+
+/// One autoregressive decode step at the registry's fixed context length.
+#[must_use]
+pub fn decode() -> Model {
+    decode_step(DECODE_CTX)
+}
+
+/// One decode step with `kv_len` tokens already cached: embedding gather
+/// for the single new token, then per layer QKV projection, attention
+/// against the K cache (`1×d · d×kv_len`), mixing of the V cache
+/// (`1×kv_len · kv_len×d`), output projection, and FFN, finished by an
+/// lm-head tied to the embedding table. The two attention matmuls' weight
+/// operands *are* the caches — their sizes grow with `kv_len`, which is
+/// how the per-step compute cost of a lengthening sequence enters the
+/// trace.
+#[must_use]
+pub fn decode_step(kv_len: u64) -> Model {
+    let vocab = 8_000;
+    let d = DECODE_DIM;
+    let d_ff = 1024;
+    let ctx = kv_len.max(1);
+    let mut b = ModelBuilder::new("decode", "Transformer-decode-step", (1, 1, 1))
+        .embedding("embed", vocab, d, 1);
+    let embed = b.next_index() - 1;
+    b = b.repeat(DECODE_LAYERS, |mut b, l| {
+        let block_in = b.next_index() - 1;
+        b = b
+            .matmul(&format!("l{l}_qkv"), 1, d, 3 * d)
+            .matmul(&format!("l{l}_k_cache_scores"), 1, d, ctx)
+            .matmul(&format!("l{l}_v_cache_attnv"), 1, ctx, d)
+            .matmul(&format!("l{l}_proj"), 1, d, d)
+            .add(&format!("l{l}_res1"), block_in)
+            .matmul(&format!("l{l}_ffn1"), 1, d, d_ff)
+            .matmul(&format!("l{l}_ffn2"), 1, d_ff, d);
+        let res1 = b.next_index() - 3;
+        b.add(&format!("l{l}_res2"), res1)
+    });
+    b = b.matmul("lm_head", 1, d, vocab).share_weights_with(embed);
+    b.build()
+}
+
+/// One training iteration of a small MLP: a 3-layer forward pass over a
+/// mini-batch plus the backward data-gradient GEMMs (`δ · Wᵀ`), which
+/// re-stream each forward weight transposed (tied, so the layout keeps
+/// one copy). A stepped runner rewrites every weight tensor after each
+/// iteration — the SGD update — which is what drives the version churn
+/// this workload exists to measure.
+#[must_use]
+pub fn train() -> Model {
+    let batch = 32;
+    let (d_in, d_h, d_out) = (784, 256, 10);
+    let mut b = ModelBuilder::new("train", "SGD-step-MLP", (1, d_in, 1))
+        .matmul("fc1", batch, d_in, d_h)
+        .matmul("fc2", batch, d_h, d_h)
+        .matmul("fc3", batch, d_h, d_out);
+    let (fc1, fc2, fc3) = (0, 1, 2);
+    b = b
+        .matmul("bwd_fc3", batch, d_out, d_h)
+        .share_weights_with(fc3)
+        .matmul("bwd_fc2", batch, d_h, d_h)
+        .share_weights_with(fc2)
+        .matmul("bwd_fc1", batch, d_h, d_in)
+        .share_weights_with(fc1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerKind, ELEM_BYTES};
+
+    #[test]
+    fn dynamic_models_validate() {
+        for m in [decode(), decode_step(1), decode_step(512), train()] {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn decode_ties_lm_head_to_embedding() {
+        let m = decode();
+        let out = m.layers.last().expect("non-empty");
+        let shared = out.weights_shared_with.expect("tied lm head");
+        assert!(matches!(m.layers[shared].kind, LayerKind::Embedding { .. }));
+        assert_eq!(
+            m.layers[shared].kind.weight_elements(),
+            out.kind.weight_elements()
+        );
+    }
+
+    #[test]
+    fn cache_matmul_weights_scale_with_context() {
+        // The cache-marked matmuls' weight operands are the K/V caches:
+        // d × kv_len elements each, growing linearly with the context.
+        for kv_len in [1u64, 16, 256] {
+            let m = decode_step(kv_len);
+            let caches: Vec<u64> = m
+                .layers
+                .iter()
+                .filter(|l| l.name.contains(CACHE_MARKER))
+                .map(|l| l.kind.weight_elements())
+                .collect();
+            assert_eq!(caches.len(), 2 * DECODE_LAYERS);
+            for w in caches {
+                assert_eq!(w, DECODE_DIM * kv_len);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_step_grows_only_the_caches() {
+        // Every non-cache tensor is step-invariant — the premise that
+        // lets a stepped trace reuse weights across the whole sequence.
+        let a = decode_step(8);
+        let b = decode_step(9);
+        assert_eq!(a.layers.len(), b.layers.len());
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.name, lb.name);
+            if la.name.contains(CACHE_MARKER) {
+                assert!(lb.kind.weight_elements() > la.kind.weight_elements());
+            } else {
+                assert_eq!(la.kind.weight_elements(), lb.kind.weight_elements());
+                assert_eq!(la.kind.out_elements(), lb.kind.out_elements());
+            }
+        }
+    }
+
+    #[test]
+    fn train_backward_ties_transposed_forward_weights() {
+        // Three unique weight tensors, each streamed twice per iteration
+        // (forward and transposed in the backward pass); the SGD update
+        // rewrites all three, the churn the version table must absorb.
+        let m = train();
+        assert_eq!(m.layers.len(), 6);
+        for (bwd, fwd) in [(3usize, 2usize), (4, 1), (5, 0)] {
+            assert_eq!(m.layers[bwd].weights_shared_with, Some(fwd));
+            assert_eq!(
+                m.layers[bwd].kind.weight_elements(),
+                m.layers[fwd].kind.weight_elements()
+            );
+        }
+        let params: u64 = m.layers[..3].iter().map(|l| l.kind.weight_elements()).sum();
+        assert!(
+            params * ELEM_BYTES > 500 * 1024,
+            "non-trivial parameter set"
+        );
+    }
+}

@@ -8,6 +8,9 @@
 //!   MelodyExtractionDetection, Text-generation, DeepSpeech2.
 //! * [`attention`] — the embedding-heavy models that stress fine-grained
 //!   memory access: Sentimental-seqCNN, Transformer, NCF.
+//! * [`dynamic`] — the dynamic-dataflow workloads outside Table III
+//!   (autoregressive decode with KV caches, SGD training steps) that
+//!   deliberately break the write-once-per-inference assumption.
 //!
 //! Dimensions follow the published architectures; where the original uses a
 //! structure our layer set cannot express exactly (inception pool-proj
@@ -17,5 +20,6 @@
 //! `EXPERIMENTS.md`.
 
 pub mod attention;
+pub mod dynamic;
 pub mod sequence;
 pub mod vision;

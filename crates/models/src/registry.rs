@@ -1,6 +1,7 @@
-//! Lookup of the 14 benchmark models by their short names.
+//! Lookup of the 14 benchmark models by their short names, plus the
+//! dynamic-dataflow workloads that live outside the Table III suite.
 
-use crate::defs::{attention, sequence, vision};
+use crate::defs::{attention, dynamic, sequence, vision};
 use crate::Model;
 
 /// Short names of all 14 models, in the order the paper's figures plot
@@ -8,6 +9,12 @@ use crate::Model;
 pub const MODEL_NAMES: [&str; 14] = [
     "goo", "mob", "yt", "alex", "rcnn", "df", "res", "med", "tx", "agz", "sent", "ds2", "tf", "ncf",
 ];
+
+/// The dynamic-dataflow workloads ([`crate::defs::dynamic`]). Registered
+/// like any other model — the attack/fault matrices and the serving
+/// plane resolve them by name — but kept out of [`MODEL_NAMES`] so the
+/// paper's static figures are untouched.
+pub const DYNAMIC_MODEL_NAMES: [&str; 2] = ["decode", "train"];
 
 /// Construct the model with the given short name.
 ///
@@ -35,6 +42,8 @@ pub fn model(name: &str) -> Option<Model> {
         "ds2" => sequence::deepspeech2(),
         "tf" => attention::transformer(),
         "ncf" => attention::ncf(),
+        "decode" => dynamic::decode(),
+        "train" => dynamic::train(),
         _ => return None,
     };
     Some(m)
@@ -73,6 +82,20 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(model("resnet101").is_none());
+    }
+
+    #[test]
+    fn dynamic_models_resolve_but_stay_out_of_the_suite() {
+        for name in DYNAMIC_MODEL_NAMES {
+            let m = model(name).expect("registered");
+            assert_eq!(m.name, name);
+            m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                !MODEL_NAMES.contains(&name),
+                "{name} must not join Table III"
+            );
+        }
+        assert_eq!(all_models().len(), 14, "figure order unchanged");
     }
 
     #[test]

@@ -169,11 +169,26 @@ pub fn choose_tiles(npu: &NpuConfig, m: u64, k: u64, n: u64, a_bytes: u64) -> Ti
 /// gather addresses, keeping runs reproducible.
 #[must_use]
 pub fn plan(model: &Model, npu: &NpuConfig, layout: &ModelLayout, seed: u64) -> ModelPlan {
+    plan_with_prefix(model, npu, layout, seed, "")
+}
+
+/// [`plan`] with a layer-name prefix — used by the stepped (step-loop)
+/// traces, where the plans of many per-step models are concatenated and
+/// each step's layers need unambiguous names (`"s3.l0_qkv"`). The job
+/// stream is byte-identical to [`plan`]'s; only the report names differ.
+#[must_use]
+pub fn plan_with_prefix(
+    model: &Model,
+    npu: &NpuConfig,
+    layout: &ModelLayout,
+    seed: u64,
+    prefix: &str,
+) -> ModelPlan {
     let mut jobs = Vec::new();
     let mut layer_jobs = Vec::with_capacity(model.layers.len());
     let mut layer_names = Vec::with_capacity(model.layers.len());
     for (li, layer) in model.layers.iter().enumerate() {
-        layer_names.push(layer.name.clone());
+        layer_names.push(format!("{prefix}{}", layer.name));
         let start = jobs.len();
         lower_layer(model, npu, layout, li, seed, &mut jobs);
         layer_jobs.push((start, jobs.len()));

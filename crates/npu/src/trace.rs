@@ -88,6 +88,80 @@ impl TileTrace {
         Self::build(&models, npu, base_seed)
     }
 
+    /// Lower a step-loop workload — one model per step of an
+    /// autoregressive decode or training session — into a single plan per
+    /// NPU, for `count` NPUs each executing the full sequence. Step `s`
+    /// of NPU `i` is lowered exactly like a standalone launch of that
+    /// step's model in NPU `i`'s region (same base address, the `s`-th
+    /// seed of the NPU's stream), then the per-step job streams are
+    /// concatenated in step order with layer indices rebased, so
+    /// [`replay`] — and everything built on it, including the trace-once
+    /// batching — works on stepped traces unchanged. Layer names carry an
+    /// `"s{step}."` prefix so per-layer reports stay unambiguous.
+    ///
+    /// Successive steps reuse the region's addresses: the step kernel
+    /// re-launches over the same tensor arena while the KV caches grow in
+    /// place, which is what charges the per-step version-metadata traffic
+    /// through the engine on every step's transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, `count` is zero, or a step's tensors
+    /// exceed the per-NPU region.
+    ///
+    /// [`replay`]: TileTrace::replay
+    #[must_use]
+    pub fn build_steps(steps: &[&Model], npu: &NpuConfig, count: usize, base_seed: u64) -> Self {
+        assert!(!steps.is_empty(), "need at least one step");
+        assert!(count > 0, "need at least one NPU");
+        let plans = (0..count)
+            .map(|i| {
+                let base = Addr(i as u64 * NPU_REGION_STRIDE);
+                // Same per-NPU stream as `build`: the s-th step consumes
+                // the stream's s-th draw, so a one-step stepped trace is
+                // job-identical to the plain single-model trace.
+                let mut rng = SplitMix64::stream(base_seed, i as u64);
+                let mut jobs = Vec::new();
+                let mut layer_jobs = Vec::new();
+                let mut layer_names = Vec::new();
+                let mut layout = None;
+                for (si, model) in steps.iter().enumerate() {
+                    let step_layout = ModelLayout::allocate(model, base);
+                    assert!(
+                        step_layout.total_bytes <= NPU_REGION_STRIDE,
+                        "step model does not fit the per-NPU region"
+                    );
+                    let seed = rng.next_u64();
+                    let p =
+                        tiler::plan_with_prefix(model, npu, &step_layout, seed, &format!("s{si}."));
+                    let job_off = jobs.len();
+                    let layer_off = layer_jobs.len();
+                    jobs.extend(p.jobs.into_iter().map(|mut j| {
+                        j.layer += layer_off;
+                        j
+                    }));
+                    layer_jobs.extend(
+                        p.layer_jobs
+                            .into_iter()
+                            .map(|(s, e)| (s + job_off, e + job_off)),
+                    );
+                    layer_names.extend(p.layer_names);
+                    layout = Some(p.layout);
+                }
+                ModelPlan {
+                    jobs,
+                    layer_jobs,
+                    layer_names,
+                    // The final step's map (the fully grown caches) — the
+                    // replay machinery never consumes it; kept for
+                    // inspection like the single-model plans'.
+                    layout: layout.expect("at least one step"),
+                }
+            })
+            .collect();
+        TileTrace { plans }
+    }
+
     /// Number of NPUs the trace covers (the maximum replayable `count`).
     #[must_use]
     pub fn npus(&self) -> usize {
@@ -195,5 +269,77 @@ mod tests {
         let npu = NpuConfig::small_npu();
         let trace = TileTrace::build_replicated(&m, &npu, 1, 7);
         let _ = trace.replay(engine(SchemeKind::Unsecure), &npu, 2);
+    }
+
+    fn decode_steps(n: u64) -> Vec<Model> {
+        (1..=n)
+            .map(tnpu_models::defs::dynamic::decode_step)
+            .collect()
+    }
+
+    #[test]
+    fn one_step_trace_is_job_identical_to_the_plain_trace() {
+        // A stepped trace of a single step must lower the exact same job
+        // stream as the plain single-model trace (same region base, same
+        // seed draw) — only the report names carry the step prefix.
+        let m = model("ncf");
+        let npu = NpuConfig::small_npu();
+        let stepped = TileTrace::build_steps(&[&m], &npu, 2, 0xBEEF);
+        let plain = TileTrace::build_replicated(&m, &npu, 2, 0xBEEF);
+        for (s, p) in stepped.plans.iter().zip(&plain.plans) {
+            assert_eq!(s.jobs, p.jobs);
+            assert_eq!(s.layer_jobs, p.layer_jobs);
+            assert_eq!(s.layer_names[0], format!("s0.{}", p.layer_names[0]));
+        }
+    }
+
+    #[test]
+    fn stepped_replay_is_deterministic_for_every_scheme() {
+        let steps = decode_steps(4);
+        let refs: Vec<&Model> = steps.iter().collect();
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_steps(&refs, &npu, 2, 0xBEEF);
+        let again = TileTrace::build_steps(&refs, &npu, 2, 0xBEEF);
+        for scheme in SchemeKind::ALL {
+            let a = trace.replay(engine(scheme), &npu, 2);
+            let b = again.replay(engine(scheme), &npu, 2);
+            assert_eq!(a, b, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn stepped_prefix_replay_matches_smaller_build() {
+        // Like the static prefix property: NPU i's stepped plan depends
+        // only on its own index, so a trace built for 3 NPUs replays 1-
+        // and 2-NPU sessions exactly as traces built at that size.
+        let steps = decode_steps(3);
+        let refs: Vec<&Model> = steps.iter().collect();
+        let npu = NpuConfig::small_npu();
+        let big = TileTrace::build_steps(&refs, &npu, 3, 0xBEEF);
+        for count in 1..=2usize {
+            let small = TileTrace::build_steps(&refs, &npu, count, 0xBEEF);
+            let a = big.replay(engine(SchemeKind::Treeless), &npu, count);
+            let b = small.replay(engine(SchemeKind::Treeless), &npu, count);
+            assert_eq!(a, b, "count {count}");
+        }
+    }
+
+    #[test]
+    fn stepped_layers_accumulate_across_steps() {
+        let steps = decode_steps(5);
+        let refs: Vec<&Model> = steps.iter().collect();
+        let npu = NpuConfig::small_npu();
+        let trace = TileTrace::build_steps(&refs, &npu, 1, 7);
+        let per_step = steps[0].layers.len();
+        let reports = trace.replay(engine(SchemeKind::Treeless), &npu, 1);
+        assert_eq!(reports[0].layers.len(), 5 * per_step);
+        // Later steps attend over longer caches, so the whole-session
+        // cycle count strictly exceeds five replays of the first step.
+        let first_only = TileTrace::build_steps(&refs[..1], &npu, 1, 7).replay(
+            engine(SchemeKind::Treeless),
+            &npu,
+            1,
+        );
+        assert!(reports[0].total.0 > 5 * first_only[0].total.0 / 2);
     }
 }
